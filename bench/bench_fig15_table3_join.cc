@@ -1,0 +1,100 @@
+// Figure 15 + Table 3: adaptively parallelized join-operator plan for varying
+// outer (probe) and inner (hash build) sizes.
+//
+// Paper: outer {3200,2000,640} MB x inner {64,16} MB; the 16 MB inner fits
+// the 20 MB L3, improving the probe phase, so its speedups are higher;
+// speedup grows with outer size; AP ~ HP.
+//
+// Scaled here (64 KB simulated L3, DESIGN.md §2): outer {400k,250k,80k} rows,
+// inner {24k, 2k} rows — the 2k-row inner (~56 KB with its hash) fits the simulated L3, the
+// 24k-row inner (192 KB) does not, preserving the cache crossover.
+#include "bench_util.h"
+#include "plan/builder.h"
+#include "util/rng.h"
+
+using namespace apq;
+using namespace apq::bench;
+
+namespace {
+
+struct JoinCase {
+  std::shared_ptr<Table> outer;
+  std::shared_ptr<Table> inner;
+};
+
+JoinCase MakeJoin(uint64_t outer_rows, uint64_t inner_rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> o(outer_rows), in(inner_rows);
+  for (auto& v : o) v = static_cast<int64_t>(rng.Uniform(inner_rows));
+  for (uint64_t i = 0; i < inner_rows; ++i) in[i] = static_cast<int64_t>(i);
+  JoinCase jc;
+  jc.outer = std::make_shared<Table>("outer_t");
+  APQ_CHECK_OK(jc.outer->AddColumn(Column::MakeInt64("o_key", std::move(o))));
+  jc.inner = std::make_shared<Table>("inner_t");
+  APQ_CHECK_OK(jc.inner->AddColumn(Column::MakeInt64("i_key", std::move(in))));
+  return jc;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 15 + Table 3: join-plan adaptation",
+         "Fig 15 (time per run) and Table 3 (AP vs HP speedups)",
+         "outer {400k,250k,80k} ~ paper {3200,2000,640} MB; inner {24k,2k} ~ "
+         "{64,16} MB (2k fits the scaled L3)");
+
+  struct OuterPoint {
+    const char* label;
+    uint64_t rows;
+  };
+  const OuterPoint outers[] = {{"3200MB~400k", 400'000},
+                               {"2000MB~250k", 250'000},
+                               {"640MB~80k", 80'000}};
+  struct InnerPoint {
+    const char* label;
+    uint64_t rows;
+  };
+  const InnerPoint inners[] = {{"64MB~24k", 24'000}, {"16MB~2k", 2'000}};
+
+  TablePrinter table({"outer", "inner", "AP speedup", "HP speedup",
+                      "AP gme (ms)", "HP (ms)", "serial (ms)", "gme run"});
+
+  for (const auto& op : outers) {
+    for (const auto& ip : inners) {
+      JoinCase jc = MakeJoin(op.rows, ip.rows, 17);
+      PlanBuilder b("join_micro");
+      int jn = b.JoinLeaf(jc.outer->GetColumn("o_key"),
+                          jc.inner->GetColumn("i_key"));
+      int cnt = b.AggScalar(AggFn::kCount, jn);
+      QueryPlan serial = b.Result(cnt);
+
+      Engine engine(PaperEngine());
+      auto sres = engine.RunSerial(serial);
+      APQ_CHECK(sres.ok());
+      auto ap = engine.RunAdaptive(serial);
+      APQ_CHECK(ap.ok());
+      auto hp = engine.RunHeuristic(serial, 32);
+      APQ_CHECK(hp.ok());
+      const AdaptiveOutcome& o = ap.ValueOrDie();
+      double hp_t = hp.ValueOrDie().time_ns;
+      table.AddRow({op.label, ip.label, TablePrinter::Fmt(o.Speedup(), 2),
+                    TablePrinter::Fmt(o.serial_time_ns / hp_t, 2),
+                    Ms(o.gme_time_ns), Ms(hp_t), Ms(o.serial_time_ns),
+                    std::to_string(o.gme_run)});
+
+      if (op.rows == 400'000) {
+        std::printf("fig15 series (outer=%s inner=%s): ", op.label, ip.label);
+        for (size_t r = 0; r < o.runs.size(); r += 4) {
+          std::printf("%.2f ", o.runs[r].time_ns / 1e6);
+        }
+        std::printf("(ms per 4th run)\n");
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape (Table 3): the cache-resident inner gives the higher\n"
+      "speedups (probe phase avoids cache thrashing); speedup grows with\n"
+      "outer size; AP and HP are comparable on pure join plans.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 18 (A-D): robustness of the convergence algorithm across repeated
+// adaptive-parallelization invocations of the TPC-H query subset.
+//
+//  A: total convergence runs per query, three independent invocations
+//  B: the run at which the global minimum occurs, three invocations
+//  C: the global minimum execution time, three invocations
+//  D: global-minimum run vs total convergence runs (queries keep draining
+//     credit long after the GME is found when the leaking debit is small)
+//
+// Paper: minimal variation across invocations for all three metrics; most
+// queries converge within ~40-160 runs on the 32-core machine.
+#include "bench_util.h"
+#include "workload/tpch.h"
+
+using namespace apq;
+using namespace apq::bench;
+
+int main() {
+  TpchConfig cfg;
+  cfg.lineitem_rows = 60'000;
+  Banner("Figure 18: convergence-algorithm robustness",
+         "Fig 18 A (runs), B (GME run), C (GME time), D (GME vs total)",
+         "lineitem=" + std::to_string(cfg.lineitem_rows) +
+             " three invocations, noise=3%");
+  auto cat = Tpch::Generate(cfg);
+
+  SimConfig sim = SimConfig::TwoSocket32();
+  sim.noise_sigma = 0.03;
+
+  TablePrinter a({"query", "runs inv1", "runs inv2", "runs inv3"});
+  TablePrinter b({"query", "gme-run inv1", "gme-run inv2", "gme-run inv3"});
+  TablePrinter c({"query", "gme-ms inv1", "gme-ms inv2", "gme-ms inv3"});
+  TablePrinter d({"query", "gme run", "total runs"});
+
+  for (const auto& name : Tpch::QueryNames()) {
+    std::vector<std::string> ra = {name}, rb = {name}, rc = {name};
+    int last_gme = 0, last_total = 0;
+    for (int inv = 0; inv < 3; ++inv) {
+      SimConfig s = sim;
+      s.seed = sim.seed + inv * 977;  // independent noise per invocation
+      EngineConfig ecfg = EngineConfig::WithSim(s);
+      ecfg.convergence.max_runs = 220;
+      Engine engine(ecfg);
+      auto serial = Tpch::Query(*cat, name);
+      APQ_CHECK(serial.ok());
+      auto ap = engine.RunAdaptive(serial.ValueOrDie());
+      APQ_CHECK(ap.ok());
+      const AdaptiveOutcome& o = ap.ValueOrDie();
+      ra.push_back(std::to_string(o.total_runs));
+      rb.push_back(std::to_string(o.gme_run));
+      rc.push_back(Ms(o.gme_time_ns));
+      last_gme = o.gme_run;
+      last_total = o.total_runs;
+    }
+    a.AddRow(ra);
+    b.AddRow(rb);
+    c.AddRow(rc);
+    d.AddRow({name, std::to_string(last_gme), std::to_string(last_total)});
+  }
+  std::printf("\n(A) total convergence runs per invocation\n");
+  a.Print();
+  std::printf("\n(B) run at which the global minimum occurs\n");
+  b.Print();
+  std::printf("\n(C) global minimum execution time\n");
+  c.Print();
+  std::printf("\n(D) global-minimum run vs total convergence runs (3rd inv.)\n");
+  d.Print();
+  std::printf(
+      "\npaper shape: all three metrics vary little across invocations; the\n"
+      "total convergence runs exceed the GME run considerably for queries\n"
+      "whose leaking debit drains slowly (Q8/Q14/Q22 in the paper).\n");
+  return 0;
+}

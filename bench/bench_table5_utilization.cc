@@ -1,0 +1,59 @@
+// Table 5 + Figures 19/20: plan statistics and multi-core utilization of
+// TPC-H Q14 under adaptive vs heuristic parallelization, with tomographs.
+//
+// Paper: AP plan has 10 selects / 16 joins / 35% utilization; HP plan has
+// 65 selects / 32 joins / 75% utilization. AP's lower utilization leaves
+// spare resources for concurrent queries.
+#include "bench_util.h"
+#include "profile/profiler.h"
+#include "workload/tpch.h"
+
+using namespace apq;
+using namespace apq::bench;
+
+int main() {
+  TpchConfig cfg;
+  cfg.lineitem_rows = 60'000;
+  Banner("Table 5 + Figs 19/20: Q14 plan statistics and utilization",
+         "Table 5 (#selects/#joins/utilization), Figs 19-20 (tomographs)",
+         "lineitem=" + std::to_string(cfg.lineitem_rows) + " sim=2x16c/32t");
+  auto cat = Tpch::Generate(cfg);
+  Engine engine(PaperEngine());
+
+  auto serial = Tpch::Q14(*cat);
+  APQ_CHECK(serial.ok());
+  auto ap = engine.RunAdaptive(serial.ValueOrDie());
+  APQ_CHECK(ap.ok());
+  auto hp = engine.RunHeuristic(serial.ValueOrDie());
+  APQ_CHECK(hp.ok());
+
+  const AdaptiveOutcome& a = ap.ValueOrDie();
+  const QueryRunResult& h = hp.ValueOrDie();
+  PlanStats as = a.gme_plan.Stats();
+  PlanStats hs = h.stats;
+
+  TablePrinter table({"", "AP", "HP"});
+  table.AddRow({"# Select operators", std::to_string(as.num_selects),
+                std::to_string(hs.num_selects)});
+  table.AddRow({"# Join operators", std::to_string(as.num_joins),
+                std::to_string(hs.num_joins)});
+  table.AddRow({"# FetchJoin operators", std::to_string(as.num_fetchjoins),
+                std::to_string(hs.num_fetchjoins)});
+  table.AddRow({"# Exchange unions", std::to_string(as.num_unions),
+                std::to_string(hs.num_unions)});
+  table.AddRow({"% Multi-core utilization",
+                TablePrinter::Fmt(a.gme_profile.utilization * 100, 1),
+                TablePrinter::Fmt(h.utilization * 100, 1)});
+  table.AddRow({"response time (ms)", Ms(a.gme_time_ns), Ms(h.time_ns)});
+  table.Print();
+
+  std::printf("\n--- Fig 19: adaptive parallelization tomograph (Q14) ---\n%s",
+              RenderTomograph(a.gme_profile).c_str());
+  std::printf("\n--- Fig 20: heuristic parallelization tomograph (Q14) ---\n%s",
+              RenderTomograph(h.profile).c_str());
+  std::printf(
+      "\npaper shape: the adaptive plan runs far fewer operator clones with\n"
+      "visibly more idle core-time (35%% vs 75%% utilization in the paper),\n"
+      "at similar isolated response time.\n");
+  return 0;
+}

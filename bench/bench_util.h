@@ -1,0 +1,38 @@
+// Shared helpers for the per-figure/per-table bench harnesses.
+//
+// Every bench prints (a) the paper reference it regenerates, (b) the seed and
+// scaled-down parameters used (DESIGN.md §2 substitutions), and (c) the
+// series/rows in the paper's format. Absolute times are simulated-machine
+// times; the comparison targets are the *shapes*, recorded in EXPERIMENTS.md.
+#ifndef APQ_BENCH_BENCH_UTIL_H_
+#define APQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "engine/engine.h"
+#include "util/table_printer.h"
+
+namespace apq::bench {
+
+inline void Banner(const char* experiment, const char* paper_ref,
+                   const std::string& params) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("parameters: %s\n", params.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string Ms(double ns, int prec = 3) {
+  return TablePrinter::Fmt(ns / 1e6, prec);
+}
+
+/// A standard paper-scale machine: the Table 1 two-socket box.
+inline EngineConfig PaperEngine() {
+  return EngineConfig::WithSim(SimConfig::TwoSocket32());
+}
+
+}  // namespace apq::bench
+
+#endif  // APQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,85 @@
+#include "adaptive/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apq {
+
+bool ConvergenceController::Observe(double exec_ns) {
+  times_.push_back(exec_ns);
+  int run = static_cast<int>(times_.size()) - 1;
+
+  if (run == 0) {
+    // Serial execution: establishes the baseline only.
+    return true;
+  }
+
+  double serial = times_[0];
+  double prev = times_[run - 1];
+
+  // Raw minimum (best plan seen, ignoring the GME threshold).
+  if (raw_min_run_ < 0 || exec_ns < raw_min_) {
+    raw_min_ = exec_ns;
+    raw_min_run_ = run;
+  }
+
+  // --- GME update (paper §3.1) -------------------------------------------
+  double cur_imprv = serial > 0 ? std::abs(serial - exec_ns) / serial : 0;
+  if (gme_run_ < 0) {
+    gme_ = exec_ns;
+    gme_run_ = run;
+    gme_imprv_ = cur_imprv;
+  } else if (exec_ns < gme_ && (cur_imprv - gme_imprv_) > params_.gme_threshold) {
+    gme_ = exec_ns;
+    gme_run_ = run;
+    gme_imprv_ = cur_imprv;
+  }
+
+  // --- ROI and credit/debit (paper §3.2) ----------------------------------
+  double roi = (prev - exec_ns) / std::max(exec_ns, prev);
+  if (roi >= 0) {
+    credit_ += roi * params_.cores;
+  } else {
+    debit_ += -roi * params_.cores;
+  }
+
+  // --- Leaking debit (paper §3.3.2) ---------------------------------------
+  if (params_.leaking_debit) {
+    if (!leak_armed_ && run >= params_.cores) {
+      double remaining_runs =
+          static_cast<double>(params_.extra_runs) * params_.cores;
+      leak_ = credit_ / remaining_runs;
+      leak_armed_ = true;
+    }
+    if (leak_armed_) {
+      // The paper's constant leak is computed once, at the threshold run.
+      // Credit that keeps accruing afterwards (plateau jitter, spike
+      // recoveries) can outpace it, so §3.3.2's claim that "the available
+      // credit is drained to 0" requires the leak to scale with the balance:
+      // drain at least fast enough to reach zero by the paper's own upper
+      // bound on convergence runs.
+      double runs_left = std::max(1, UpperBound() - run);
+      double schedule = (credit_ - debit_) / runs_left;
+      debit_ += std::max(leak_, schedule);
+    }
+  }
+
+  if (run + 1 >= params_.max_runs) return false;
+
+  bool balance_positive = (credit_ - debit_) > 0;
+  if (balance_positive) {
+    grace_used_ = false;
+    return true;
+  }
+
+  // --- Peak grace (paper §3.3.3) ------------------------------------------
+  // A unique peak (time above serial) would otherwise halt the algorithm
+  // immediately; allow the next run so the descent can compensate.
+  if (params_.peak_grace && !grace_used_ && exec_ns > serial) {
+    grace_used_ = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace apq

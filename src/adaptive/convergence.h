@@ -1,0 +1,85 @@
+// The adaptive-parallelization convergence algorithm (paper §3).
+//
+// Observes the execution time of successive runs (run 0 = the serial plan)
+// and decides when to stop mutating. Mechanics:
+//   - GME (global minimum execution): minimal time so far, updated only when
+//     the improvement over the serial time beats the current GME improvement
+//     by more than `gme_threshold` (discards noise-level "new minima").
+//   - ROI (rate of improvement) vs the previous run drives a credit/debit
+//     balance scaled by the core count; the next run is allowed only while
+//     credit - debit > 0.
+//   - Leaking debit: once run > cores, a constant leak (credit at the
+//     threshold run divided by extra_runs * cores) drains the balance,
+//     guaranteeing convergence on stable systems.
+//   - Noisy peaks (time above the serial time) receive one grace run so that
+//     the descent's credit can cancel the ascent's debit.
+#ifndef APQ_ADAPTIVE_CONVERGENCE_H_
+#define APQ_ADAPTIVE_CONVERGENCE_H_
+
+#include <vector>
+
+namespace apq {
+
+/// \brief Convergence algorithm tuning (paper defaults).
+struct ConvergenceParams {
+  int cores = 32;               // Number_Of_Cores in the paper's formulas
+  /// GME replacement threshold. The paper used 5% on its hardware and notes
+  /// that "correct tuning of the threshold parameter is crucial"; 2% fits
+  /// this repository's scaled-down datasets (smaller serial/best ratios
+  /// saturate a 5% step earlier). The ablation bench sweeps this knob.
+  double gme_threshold = 0.02;
+  int extra_runs = 8;           // Extra_Runs (paper: 8 is safe)
+  int max_runs = 400;           // hard safety bound
+  bool leaking_debit = true;    // ablation switch (§3.3.2)
+  bool peak_grace = true;       // ablation switch (§3.3.3)
+};
+
+/// \brief State machine implementing the convergence decisions.
+class ConvergenceController {
+ public:
+  explicit ConvergenceController(ConvergenceParams params = ConvergenceParams())
+      : params_(params) {}
+
+  /// Records the execution time of the next run (first call = run 0, the
+  /// serial plan). Returns true if another run is allowed.
+  bool Observe(double exec_ns);
+
+  int runs_observed() const { return static_cast<int>(times_.size()); }
+  double serial_time() const { return times_.empty() ? 0 : times_[0]; }
+  double gme() const { return gme_; }
+  int gme_run() const { return gme_run_; }
+  double credit() const { return credit_; }
+  double debit() const { return debit_; }
+  double balance() const { return credit_ - debit_; }
+  double leaking_debit_value() const { return leak_; }
+  const std::vector<double>& times() const { return times_; }
+
+  /// Run with the raw minimum time (may differ from the GME run when noise
+  /// produced a sub-threshold dip).
+  int raw_min_run() const { return raw_min_run_; }
+
+  /// Theoretical lower bound on convergence runs (paper §3.3.4).
+  int LowerBound() const { return params_.cores + 1; }
+  /// Approximate upper bound on convergence runs (paper §3.3.4).
+  int UpperBound() const {
+    return params_.cores + 1 + params_.extra_runs * params_.cores;
+  }
+
+ private:
+  ConvergenceParams params_;
+  std::vector<double> times_;
+  double gme_ = 0;
+  double gme_imprv_ = 0;
+  int gme_run_ = -1;
+  int raw_min_run_ = -1;
+  double raw_min_ = 0;
+  double credit_ = 1.0;  // paper: starts at 1
+  double debit_ = 0.0;
+  double leak_ = 0.0;
+  bool leak_armed_ = false;
+  bool grace_used_ = false;
+};
+
+}  // namespace apq
+
+#endif  // APQ_ADAPTIVE_CONVERGENCE_H_

@@ -1,0 +1,111 @@
+#include "adaptive/executor.h"
+
+namespace apq {
+
+StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
+    const QueryPlan& serial_plan, const std::vector<SimTask>& background) {
+  AdaptiveOutcome out;
+  ConvergenceController conv(params_.convergence);
+  Mutator mutator(params_.mutator);
+
+  QueryPlan plan = serial_plan.Clone();
+  Intermediate serial_result;
+  int run = 0;
+  // Tracks which executed run each plan corresponds to, so the GME plan can
+  // be recovered. plans[r] executed as run r.
+  std::vector<QueryPlan> plan_history;
+  std::vector<RunProfile> profile_history;
+
+  while (true) {
+    EvalResult er;
+    APQ_RETURN_NOT_OK(evaluator_->Execute(plan, &er));
+    if (run == 0) {
+      serial_result = er.result;
+      out.result = er.result;
+    } else if (params_.verify_results) {
+      std::string diff = DiffIntermediates(serial_result, er.result, 1e-6);
+      if (!diff.empty()) {
+        return Status::Internal("run " + std::to_string(run) +
+                                " result diverged from serial: " + diff);
+      }
+    }
+
+    // Simulate this run on the virtual machine, alongside any background
+    // workload (instance 0 is this query).
+    std::vector<SimTask> tasks =
+        BuildSimTasks(plan, er.metrics, cost_model_, /*instance=*/0);
+    size_t own_tasks = tasks.size();
+    for (SimTask t : background) {
+      // Background deps are indices within the background vector; shift them.
+      for (int& d : t.deps) d += static_cast<int>(own_tasks);
+      if (t.instance == 0) t.instance = 1;
+      tasks.push_back(std::move(t));
+    }
+    SimOutcome sim = simulator_.Run(tasks, /*run_seed_salt=*/run + 1);
+    double time = sim.instance_response_ns[0];
+    std::vector<SimTaskTiming> own_timings(sim.timings.begin(),
+                                           sim.timings.begin() + own_tasks);
+    RunProfile profile = MakeRunProfile(plan, er.metrics, cost_model_,
+                                        own_timings, sim.makespan_ns,
+                                        sim.utilization);
+    // Utilization of this query's own operators against its own span.
+    if (time > 0) {
+      double busy = 0;
+      for (const auto& op : profile.ops) busy += op.duration_ns();
+      profile.utilization =
+          busy / (time * simulator_.config().logical_cores);
+      profile.makespan_ns = time;
+    }
+
+    plan_history.push_back(plan.Clone());
+    profile_history.push_back(profile);
+
+    bool cont = conv.Observe(time);
+
+    AdaptiveRun rec;
+    rec.run = run;
+    rec.time_ns = time;
+    rec.utilization = profile.utilization;
+    rec.plan_stats = plan.Stats();
+    out.runs.push_back(rec);
+
+    if (!cont) break;
+
+    // Morph: parallelize the most expensive operator for the next run.
+    MutationReport report;
+    auto mutated = mutator.MutateMostExpensive(plan, profile, &report);
+    if (!mutated.ok()) return mutated.status();
+    out.runs.back().mutated_node = report.target_node;
+    out.runs.back().mutation = report.mutated ? report.action : "none";
+    if (!report.mutated) {
+      // No operator can be parallelized further; natural convergence.
+      break;
+    }
+    plan = mutated.MoveValueOrDie();
+    APQ_RETURN_NOT_OK(plan.Validate());
+    ++run;
+  }
+
+  out.serial_time_ns = conv.serial_time();
+  out.total_runs = conv.runs_observed();
+  out.best_run = conv.raw_min_run() < 0 ? 0 : conv.raw_min_run();
+  out.best_time_ns = out.best_run == 0 ? conv.serial_time()
+                                       : conv.times()[out.best_run];
+  if (out.best_time_ns > conv.serial_time()) {
+    out.best_run = 0;
+    out.best_time_ns = conv.serial_time();
+  }
+  out.gme_run = conv.gme_run() < 0 ? 0 : conv.gme_run();
+  out.gme_time_ns = conv.gme_run() < 0 ? conv.serial_time() : conv.gme();
+  if (out.gme_time_ns > out.serial_time_ns) {
+    // Parallelization never beat the serial plan (small inputs / contention):
+    // converge on the serial plan itself.
+    out.gme_run = 0;
+    out.gme_time_ns = out.serial_time_ns;
+  }
+  out.gme_plan = plan_history[out.gme_run].Clone();
+  out.gme_profile = profile_history[out.gme_run];
+  return out;
+}
+
+}  // namespace apq

@@ -1,0 +1,85 @@
+// The adaptive parallelization driver: repeated query invocations, each run
+// profiled on the simulated machine, the most expensive operator mutated,
+// until the convergence controller stops the process (paper Fig 2 workflow).
+#ifndef APQ_ADAPTIVE_EXECUTOR_H_
+#define APQ_ADAPTIVE_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "adaptive/convergence.h"
+#include "adaptive/mutator.h"
+#include "exec/compare.h"
+#include "exec/cost_model.h"
+#include "exec/evaluator.h"
+#include "plan/plan.h"
+#include "profile/profiler.h"
+#include "sched/simulator.h"
+
+namespace apq {
+
+/// \brief One adaptive run's record.
+struct AdaptiveRun {
+  int run = 0;
+  double time_ns = 0;          // response time of this invocation
+  double utilization = 0;      // multi-core utilization of this run
+  int mutated_node = -1;       // operator parallelized after this run
+  std::string mutation;        // basic / medium / advanced / none
+  PlanStats plan_stats;        // shape of the plan that executed
+};
+
+/// \brief Outcome of a full adaptive-parallelization instance.
+struct AdaptiveOutcome {
+  std::vector<AdaptiveRun> runs;   // runs[0] = serial plan
+  double serial_time_ns = 0;
+  double gme_time_ns = 0;
+  int gme_run = -1;
+  /// Raw minimum over all runs (may differ from the GME when late
+  /// sub-threshold refinements are discarded by the GME rule).
+  double best_time_ns = 0;
+  int best_run = -1;
+  int total_runs = 0;
+  QueryPlan gme_plan;              // the plan the process converged on
+  RunProfile gme_profile;          // profile of the GME run
+  Intermediate result;             // query result (identical across runs)
+
+  double Speedup() const {
+    return gme_time_ns > 0 ? serial_time_ns / gme_time_ns : 0;
+  }
+};
+
+/// \brief Configuration of the adaptive executor.
+struct AdaptiveParams {
+  ConvergenceParams convergence;
+  MutatorConfig mutator;
+  /// Verify that every mutated plan reproduces the serial result (enabled in
+  /// tests; costs one comparison per run).
+  bool verify_results = false;
+};
+
+/// \brief Runs the adaptive-parallelization feedback loop.
+class AdaptiveExecutor {
+ public:
+  AdaptiveExecutor(Evaluator* evaluator, CostModel cost_model,
+                   Simulator simulator, AdaptiveParams params)
+      : evaluator_(evaluator),
+        cost_model_(cost_model),
+        simulator_(simulator),
+        params_(params) {}
+
+  /// Runs the loop starting from `serial_plan`. If `background` is non-empty,
+  /// those tasks are co-scheduled with every run (concurrent workload); the
+  /// reported time is this query's response time.
+  StatusOr<AdaptiveOutcome> Run(const QueryPlan& serial_plan,
+                                const std::vector<SimTask>& background = {});
+
+ private:
+  Evaluator* evaluator_;
+  CostModel cost_model_;
+  Simulator simulator_;
+  AdaptiveParams params_;
+};
+
+}  // namespace apq
+
+#endif  // APQ_ADAPTIVE_EXECUTOR_H_

@@ -1,0 +1,91 @@
+#include "engine/engine.h"
+
+namespace apq {
+
+StatusOr<QueryRunResult> Engine::RunPlan(const QueryPlan& plan,
+                                         const std::vector<SimTask>& background,
+                                         uint64_t seed_salt) {
+  EvalResult er;
+  APQ_RETURN_NOT_OK(evaluator_.Execute(plan, &er));
+  std::vector<SimTask> tasks =
+      BuildSimTasks(plan, er.metrics, cost_model_, /*instance=*/0);
+  size_t own = tasks.size();
+  for (SimTask t : background) {
+    for (int& d : t.deps) d += static_cast<int>(own);
+    if (t.instance == 0) t.instance = 1;
+    tasks.push_back(std::move(t));
+  }
+  SimOutcome sim = simulator_.Run(tasks, seed_salt);
+
+  QueryRunResult out;
+  out.time_ns = sim.instance_response_ns[0];
+  out.result = er.result;
+  out.stats = plan.Stats();
+  std::vector<SimTaskTiming> own_timings(sim.timings.begin(),
+                                         sim.timings.begin() + own);
+  out.profile = MakeRunProfile(plan, er.metrics, cost_model_, own_timings,
+                               sim.makespan_ns, sim.utilization);
+  // Utilization of this query against its own span.
+  double busy = 0;
+  for (const auto& op : out.profile.ops) busy += op.duration_ns();
+  if (out.time_ns > 0) {
+    out.utilization = busy / (out.time_ns * config_.sim.logical_cores);
+  }
+  out.profile.utilization = out.utilization;
+  out.profile.makespan_ns = out.time_ns;
+  return out;
+}
+
+StatusOr<QueryPlan> Engine::HeuristicPlan(const QueryPlan& serial_plan,
+                                          int dop) const {
+  HeuristicConfig hc;
+  hc.dop = dop > 0 ? dop : config_.hp_dop;
+  HeuristicParallelizer hp(hc);
+  return hp.Parallelize(serial_plan);
+}
+
+StatusOr<QueryRunResult> Engine::RunHeuristic(
+    const QueryPlan& serial_plan, int dop,
+    const std::vector<SimTask>& background, uint64_t seed_salt) {
+  auto plan = HeuristicPlan(serial_plan, dop);
+  if (!plan.ok()) return plan.status();
+  return RunPlan(plan.ValueOrDie(), background, seed_salt);
+}
+
+StatusOr<AdaptiveOutcome> Engine::RunAdaptive(
+    const QueryPlan& serial_plan, const std::vector<SimTask>& background) {
+  AdaptiveParams params;
+  params.convergence = config_.convergence;
+  params.convergence.cores = config_.sim.logical_cores;
+  params.mutator = config_.mutator;
+  params.verify_results = config_.verify_results;
+  AdaptiveExecutor exec(&evaluator_, cost_model_, simulator_, params);
+  return exec.Run(serial_plan, background);
+}
+
+StatusOr<std::vector<SimTask>> Engine::BuildBackground(
+    const std::vector<const QueryPlan*>& mix, int clients, double spacing_ns) {
+  std::vector<SimTask> out;
+  if (mix.empty() || clients <= 0) return out;
+  // Evaluate each distinct plan once; replicate tasks per client.
+  std::vector<std::vector<SimTask>> per_plan;
+  per_plan.reserve(mix.size());
+  for (const QueryPlan* p : mix) {
+    EvalResult er;
+    APQ_RETURN_NOT_OK(evaluator_.Execute(*p, &er));
+    per_plan.push_back(BuildSimTasks(*p, er.metrics, cost_model_));
+  }
+  for (int c = 0; c < clients; ++c) {
+    const auto& tmpl = per_plan[c % per_plan.size()];
+    int base = static_cast<int>(out.size());
+    for (SimTask t : tmpl) {
+      t.instance = c + 1;
+      t.arrival_ns = spacing_ns * c;
+      for (int& d : t.deps) d += base;
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace apq

@@ -1,0 +1,106 @@
+// Public facade: ties storage, evaluation, the cost model, the simulated
+// machine, and the three parallelization strategies together.
+#ifndef APQ_ENGINE_ENGINE_H_
+#define APQ_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/executor.h"
+#include "exec/cost_model.h"
+#include "exec/evaluator.h"
+#include "heuristic/parallelizer.h"
+#include "plan/plan.h"
+#include "profile/profiler.h"
+#include "sched/simulator.h"
+#include "storage/table.h"
+
+namespace apq {
+
+/// \brief Engine-wide configuration.
+struct EngineConfig {
+  SimConfig sim = SimConfig::TwoSocket32();
+  CostParams cost;
+  ConvergenceParams convergence;   // cores is synced to sim.logical_cores
+  MutatorConfig mutator;
+  int hp_dop = 32;                 // heuristic parallelizer default DOP
+  bool verify_results = false;     // cross-check every adaptive run
+
+  EngineConfig() { convergence.cores = sim.logical_cores; }
+  static EngineConfig WithSim(SimConfig s) {
+    EngineConfig c;
+    c.sim = s;
+    c.convergence.cores = s.logical_cores;
+    c.hp_dop = s.logical_cores;
+    return c;
+  }
+};
+
+/// \brief Result of executing one plan once on the simulated machine.
+struct QueryRunResult {
+  double time_ns = 0;       // response time
+  double utilization = 0;   // multi-core utilization during the run
+  Intermediate result;      // exact query result
+  RunProfile profile;
+  PlanStats stats;
+};
+
+/// \brief The column-store engine with adaptive parallelization.
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = EngineConfig())
+      : config_(config),
+        cost_model_(config.cost),
+        simulator_(config.sim) {}
+
+  const EngineConfig& config() const { return config_; }
+  Evaluator* evaluator() { return &evaluator_; }
+  const Simulator& simulator() const { return simulator_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// Executes `plan` as-is; background tasks (if any) contend for the
+  /// machine. `seed_salt` decorrelates noise between repetitions.
+  StatusOr<QueryRunResult> RunPlan(const QueryPlan& plan,
+                                   const std::vector<SimTask>& background = {},
+                                   uint64_t seed_salt = 0);
+
+  /// Serial execution (the optimizer's serial plan, run 0 of adaptation).
+  StatusOr<QueryRunResult> RunSerial(const QueryPlan& serial_plan,
+                                     uint64_t seed_salt = 0) {
+    return RunPlan(serial_plan, {}, seed_salt);
+  }
+
+  /// Heuristic (static) parallelization at `dop` (default config.hp_dop).
+  StatusOr<QueryRunResult> RunHeuristic(
+      const QueryPlan& serial_plan, int dop = -1,
+      const std::vector<SimTask>& background = {}, uint64_t seed_salt = 0);
+
+  /// Statically parallelizes without running (for plan-shape analysis).
+  StatusOr<QueryPlan> HeuristicPlan(const QueryPlan& serial_plan,
+                                    int dop = -1) const;
+
+  /// Full adaptive-parallelization instance (repeated invocations until
+  /// convergence).
+  StatusOr<AdaptiveOutcome> RunAdaptive(
+      const QueryPlan& serial_plan,
+      const std::vector<SimTask>& background = {});
+
+  /// Builds a background workload: `clients` concurrent streams, each running
+  /// its plan from `mix` (round-robin), arrivals spaced by `spacing_ns`.
+  /// Plans are evaluated once; tasks are replicated per client. Instances are
+  /// numbered from 1 (instance 0 is reserved for the foreground query).
+  StatusOr<std::vector<SimTask>> BuildBackground(
+      const std::vector<const QueryPlan*>& mix, int clients,
+      double spacing_ns = 0.0);
+
+ private:
+  EngineConfig config_;
+  Evaluator evaluator_;
+  CostModel cost_model_;
+  Simulator simulator_;
+};
+
+}  // namespace apq
+
+#endif  // APQ_ENGINE_ENGINE_H_

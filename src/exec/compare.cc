@@ -1,0 +1,154 @@
+#include "exec/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace apq {
+
+namespace {
+
+bool Close(double a, double b, double tol) {
+  double scale = std::max({std::abs(a), std::abs(b), 1.0});
+  return std::abs(a - b) <= tol * scale;
+}
+
+}  // namespace
+
+std::string DiffIntermediates(const Intermediate& a, const Intermediate& b,
+                              double tol) {
+  std::ostringstream os;
+  // A scalar and a single-group grouped aggregate are interchangeable (the
+  // union of scalar partials packs into a grouped form).
+  auto as_scalar = [](const Intermediate& x, double* v) {
+    if (x.kind == Intermediate::Kind::kScalar) {
+      *v = x.scalar;
+      return true;
+    }
+    if (x.kind == Intermediate::Kind::kGroupedAgg && x.agg_vals.size() == 1) {
+      *v = x.agg_vals[0];
+      return true;
+    }
+    return false;
+  };
+  double sa, sb;
+  if (as_scalar(a, &sa) && as_scalar(b, &sb)) {
+    if (!Close(sa, sb, tol)) {
+      os << "scalar mismatch: " << sa << " vs " << sb;
+      return os.str();
+    }
+    return "";
+  }
+
+  if (a.kind != b.kind) {
+    os << "kind mismatch: " << Intermediate::KindName(a.kind) << " vs "
+       << Intermediate::KindName(b.kind);
+    return os.str();
+  }
+
+  switch (a.kind) {
+    case Intermediate::Kind::kRowIds:
+    case Intermediate::Kind::kPairs: {
+      if (a.rowids.size() != b.rowids.size()) {
+        os << "rowid count mismatch: " << a.rowids.size() << " vs "
+           << b.rowids.size();
+        return os.str();
+      }
+      for (size_t i = 0; i < a.rowids.size(); ++i) {
+        if (a.rowids[i] != b.rowids[i]) {
+          os << "rowid[" << i << "]: " << a.rowids[i] << " vs " << b.rowids[i];
+          return os.str();
+        }
+      }
+      if (a.kind == Intermediate::Kind::kPairs) {
+        for (size_t i = 0; i < a.rrowids.size(); ++i) {
+          if (a.rrowids[i] != b.rrowids[i]) {
+            os << "rrowid[" << i << "]: " << a.rrowids[i] << " vs "
+               << b.rrowids[i];
+            return os.str();
+          }
+        }
+      }
+      return "";
+    }
+    case Intermediate::Kind::kValues: {
+      if (a.values.size() != b.values.size()) {
+        os << "value count mismatch: " << a.values.size() << " vs "
+           << b.values.size();
+        return os.str();
+      }
+      for (uint64_t i = 0; i < a.values.size(); ++i) {
+        if (!Close(a.values.AsDouble(i), b.values.AsDouble(i), tol)) {
+          os << "value[" << i << "]: " << a.values.AsDouble(i) << " vs "
+             << b.values.AsDouble(i);
+          return os.str();
+        }
+      }
+      if (!a.head.empty() && !b.head.empty() && a.head != b.head) {
+        os << "head rowids differ";
+        return os.str();
+      }
+      return "";
+    }
+    case Intermediate::Kind::kGroupedAgg: {
+      std::map<int64_t, std::pair<double, int64_t>> ma, mb;
+      for (size_t i = 0; i < a.agg_vals.size(); ++i) {
+        ma[a.group_keys.AsInt(i)] = {a.agg_vals[i],
+                                     i < a.agg_counts.size() ? a.agg_counts[i]
+                                                             : 1};
+      }
+      for (size_t i = 0; i < b.agg_vals.size(); ++i) {
+        mb[b.group_keys.AsInt(i)] = {b.agg_vals[i],
+                                     i < b.agg_counts.size() ? b.agg_counts[i]
+                                                             : 1};
+      }
+      if (ma.size() != mb.size()) {
+        os << "group count mismatch: " << ma.size() << " vs " << mb.size();
+        return os.str();
+      }
+      for (const auto& [key, va] : ma) {
+        auto it = mb.find(key);
+        if (it == mb.end()) {
+          os << "group key " << key << " missing";
+          return os.str();
+        }
+        if (!Close(va.first, it->second.first, tol)) {
+          os << "group " << key << " value: " << va.first << " vs "
+             << it->second.first;
+          return os.str();
+        }
+      }
+      return "";
+    }
+    case Intermediate::Kind::kScalar: {
+      if (!Close(a.scalar, b.scalar, tol)) {
+        os << "scalar: " << a.scalar << " vs " << b.scalar;
+        return os.str();
+      }
+      return "";
+    }
+    case Intermediate::Kind::kGroups: {
+      if (a.group_ids.size() != b.group_ids.size() ||
+          a.group_keys.size() != b.group_keys.size()) {
+        os << "groups shape mismatch";
+        return os.str();
+      }
+      // Group ids are renameable; compare via key identity per row.
+      for (size_t i = 0; i < a.group_ids.size(); ++i) {
+        int64_t ka = a.group_keys.AsInt(a.group_ids[i]);
+        int64_t kb = b.group_keys.AsInt(b.group_ids[i]);
+        if (ka != kb) {
+          os << "row " << i << " group key: " << ka << " vs " << kb;
+          return os.str();
+        }
+      }
+      return "";
+    }
+    case Intermediate::Kind::kNone:
+      return "";
+  }
+  return "unreachable";
+}
+
+}  // namespace apq

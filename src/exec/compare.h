@@ -1,0 +1,29 @@
+// Semantic comparison of intermediates, used to verify that every mutated
+// (parallelized) plan produces exactly the serial plan's result.
+#ifndef APQ_EXEC_COMPARE_H_
+#define APQ_EXEC_COMPARE_H_
+
+#include <string>
+
+#include "exec/intermediate.h"
+
+namespace apq {
+
+/// \brief Compares two intermediates for semantic equality.
+///
+/// Row-id / pair / value results compare element-wise in order (parallel
+/// plans must preserve base-table order, paper §2.3). Grouped aggregates
+/// compare as key -> (value, count) maps since merge order is unspecified.
+/// Scalars compare within `tol` relative tolerance.
+/// Returns an empty string when equal, else a human-readable difference.
+std::string DiffIntermediates(const Intermediate& a, const Intermediate& b,
+                              double tol = 1e-9);
+
+inline bool IntermediatesEqual(const Intermediate& a, const Intermediate& b,
+                               double tol = 1e-9) {
+  return DiffIntermediates(a, b, tol).empty();
+}
+
+}  // namespace apq
+
+#endif  // APQ_EXEC_COMPARE_H_

@@ -1,0 +1,83 @@
+#include "exec/cost_model.h"
+
+#include <cmath>
+
+namespace apq {
+
+double CostModel::Work(const OpMetrics& m) const {
+  double ns = params_.dispatch_ns;
+  switch (m.kind) {
+    case OpKind::kSelect:
+      ns += m.tuples_in * params_.scan_ns_per_tuple;
+      ns += m.random_accesses *
+            params_.RandomAccessNs(static_cast<double>(m.random_working_set));
+      ns += m.tuples_out * params_.out_ns_per_tuple;
+      break;
+    case OpKind::kFetchJoin:
+      // Sequential pass over the candidate list plus one random gather per
+      // in-slice candidate.
+      ns += m.tuples_in * params_.scan_ns_per_tuple;
+      ns += m.random_accesses *
+            params_.RandomAccessNs(static_cast<double>(m.random_working_set));
+      ns += m.tuples_out * params_.out_ns_per_tuple;
+      break;
+    case OpKind::kJoin:
+      ns += m.hash_build_rows * params_.hash_insert_ns;
+      ns += m.random_accesses *
+            params_.RandomAccessNs(static_cast<double>(m.random_working_set));
+      ns += m.tuples_out * 2 * params_.out_ns_per_tuple;
+      break;
+    case OpKind::kGroupBy:
+      ns += m.tuples_in *
+            (params_.group_ns_per_tuple +
+             0.05 * params_.RandomAccessNs(
+                        static_cast<double>(m.random_working_set)));
+      ns += m.tuples_in * params_.scan_ns_per_tuple;
+      break;
+    case OpKind::kAggregate:
+    case OpKind::kAggrMerge:
+      ns += m.tuples_in * 1.5 * params_.scan_ns_per_tuple;
+      ns += m.tuples_out * params_.out_ns_per_tuple;
+      break;
+    case OpKind::kExchangeUnion:
+      // Pure materialization: copies every input byte (paper §2.1 "medium":
+      // the union turns expensive under low selectivity).
+      ns += m.bytes_in * params_.copy_ns_per_byte;
+      break;
+    case OpKind::kMap:
+      ns += m.tuples_in * params_.scan_ns_per_tuple;
+      ns += m.tuples_out * params_.out_ns_per_tuple;
+      break;
+    case OpKind::kSort:
+    case OpKind::kTopN: {
+      double n = static_cast<double>(m.sort_rows);
+      if (n > 1) ns += n * std::log2(n) * params_.sort_ns_per_item;
+      ns += m.tuples_out * params_.out_ns_per_tuple;
+      break;
+    }
+    case OpKind::kResult:
+      ns = 0;  // the terminal marker costs nothing
+      break;
+  }
+  return ns;
+}
+
+double CostModel::MemIntensity(const OpMetrics& m) const {
+  bool big_ws = static_cast<double>(m.random_working_set) > params_.l3_bytes;
+  switch (m.kind) {
+    case OpKind::kSelect: return 0.55;
+    case OpKind::kFetchJoin: return big_ws ? 0.85 : 0.35;
+    case OpKind::kJoin: return big_ws ? 0.80 : 0.40;
+    case OpKind::kGroupBy: return big_ws ? 0.75 : 0.40;
+    case OpKind::kAggregate:
+    case OpKind::kAggrMerge: return 0.40;
+    case OpKind::kExchangeUnion: return 0.90;
+    case OpKind::kMap: return 0.60;
+    case OpKind::kSort:
+    case OpKind::kTopN: return 0.30;
+    case OpKind::kResult: return 0.0;
+  }
+  return 0.5;
+}
+
+}  // namespace apq

@@ -1,0 +1,785 @@
+#include "exec/evaluator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace apq {
+
+namespace {
+
+/// Precomputes which dictionary codes match a LIKE pattern (substring).
+std::vector<uint8_t> MatchDictionary(const Column& col, const Predicate& p) {
+  const auto& dict = col.dictionary();
+  std::vector<uint8_t> match(dict.size(), 0);
+  for (size_t i = 0; i < dict.size(); ++i) {
+    bool hit = dict[i].find(p.pattern) != std::string::npos;
+    match[i] = (hit != p.anti) ? 1 : 0;
+  }
+  return match;
+}
+
+bool EvalPredI64(const Predicate& p, int64_t v) {
+  switch (p.kind) {
+    case Predicate::Kind::kNone: return true;
+    case Predicate::Kind::kRangeI64: return v >= p.lo && v <= p.hi;
+    case Predicate::Kind::kEqI64: return v == p.lo;
+    default: return false;
+  }
+}
+
+Status InputOf(const EvalResult& ctx, int id, const Intermediate** out) {
+  auto it = ctx.intermediates.find(id);
+  if (it == ctx.intermediates.end()) {
+    return Status::Internal("input X_" + std::to_string(id) + " not evaluated");
+  }
+  *out = &it->second;
+  return Status::OK();
+}
+
+ValueVec MakeVecLike(const Column& col) {
+  ValueVec v;
+  v.type = col.type();
+  if (col.type() == DataType::kString) v.dict = &col;
+  return v;
+}
+
+void GatherInto(const Column& col, oid row, ValueVec* vals) {
+  if (col.type() == DataType::kFloat64) {
+    vals->f64.push_back(col.f64()[row]);
+  } else {
+    vals->i64.push_back(col.i64()[row]);
+  }
+}
+
+}  // namespace
+
+const std::shared_ptr<HashIndex>& Evaluator::GetOrBuildHash(const Column& column,
+                                                            OpMetrics* m) {
+  auto it = hash_cache_.find(&column);
+  if (it != hash_cache_.end()) return it->second;
+  auto idx = HashIndex::Build(column, column.full_range());
+  m->hash_build_rows += idx->num_keys();
+  auto [pos, inserted] = hash_cache_.emplace(&column, std::move(idx));
+  (void)inserted;
+  return pos->second;
+}
+
+Status Evaluator::Execute(const QueryPlan& plan, EvalResult* out) {
+  APQ_RETURN_NOT_OK(plan.Validate());
+  out->intermediates.clear();
+  out->metrics.clear();
+  auto order = plan.TopologicalOrder();
+  if (!order.ok()) return order.status();
+  for (int id : order.ValueOrDie()) {
+    const PlanNode& node = plan.node(id);
+    Intermediate result;
+    OpMetrics m;
+    m.node_id = id;
+    m.kind = node.kind;
+    APQ_RETURN_NOT_OK(ExecNode(plan, node, out, &result, &m));
+    out->metrics.push_back(m);
+    out->intermediates.emplace(id, std::move(result));
+  }
+  const PlanNode& res = plan.node(plan.result_id());
+  out->result = out->intermediates.at(res.inputs[0]);
+  return Status::OK();
+}
+
+Status Evaluator::ExecNode(const QueryPlan& plan, const PlanNode& node,
+                           EvalResult* out, Intermediate* result, OpMetrics* m) {
+  (void)plan;
+  switch (node.kind) {
+    case OpKind::kSelect: return ExecSelect(node, *out, result, m);
+    case OpKind::kFetchJoin: return ExecFetchJoin(node, *out, result, m);
+    case OpKind::kJoin: return ExecJoin(node, *out, result, m);
+    case OpKind::kGroupBy: return ExecGroupBy(node, *out, result, m);
+    case OpKind::kAggregate: return ExecAggregate(node, *out, result, m);
+    case OpKind::kAggrMerge: return ExecAggrMerge(node, *out, result, m);
+    case OpKind::kExchangeUnion: return ExecUnion(node, *out, result, m);
+    case OpKind::kMap: return ExecMap(node, *out, result, m);
+    case OpKind::kSort:
+    case OpKind::kTopN: return ExecSort(node, *out, result, m);
+    case OpKind::kResult: {
+      const Intermediate* in;
+      APQ_RETURN_NOT_OK(InputOf(*out, node.inputs[0], &in));
+      *result = *in;
+      return Status::OK();
+    }
+  }
+  return Status::Unsupported("unknown op kind");
+}
+
+Status Evaluator::ExecSelect(const PlanNode& node, const EvalResult& ctx,
+                             Intermediate* result, OpMetrics* m) {
+  const Column& col = *node.column;
+  RowRange range = node.EffectiveRange();
+  result->kind = Intermediate::Kind::kRowIds;
+  result->origin = range;
+
+  std::vector<uint8_t> like_match;
+  bool is_like = node.pred.kind == Predicate::Kind::kLike;
+  if (is_like) {
+    if (col.type() != DataType::kString) {
+      return Status::InvalidArgument("LIKE on non-string column '" + col.name() +
+                                     "'");
+    }
+    like_match = MatchDictionary(col, node.pred);
+  }
+  bool is_f64 = col.type() == DataType::kFloat64;
+
+  auto test = [&](oid row) -> bool {
+    if (is_like) return like_match[col.i64()[row]] != 0;
+    if (is_f64) {
+      if (node.pred.kind == Predicate::Kind::kRangeF64) {
+        double v = col.f64()[row];
+        return v >= node.pred.flo && v <= node.pred.fhi;
+      }
+      return EvalPredI64(node.pred, static_cast<int64_t>(col.f64()[row]));
+    }
+    if (node.pred.kind == Predicate::Kind::kRangeF64) {
+      double v = static_cast<double>(col.i64()[row]);
+      return v >= node.pred.flo && v <= node.pred.fhi;
+    }
+    return EvalPredI64(node.pred, col.i64()[row]);
+  };
+
+  if (!node.inputs.empty()) {
+    // Candidate-list form (algebra.subselect with candidates). Candidate
+    // scanning is sequential; the value lookups are random gathers into this
+    // clone's slice.
+    const Intermediate* in;
+    APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &in));
+    if (in->kind != Intermediate::Kind::kRowIds) {
+      return Status::InvalidArgument("select candidates must be rowids");
+    }
+    m->tuples_in = in->rowids.size();
+    for (oid row : in->rowids) {
+      if (!range.Contains(row)) continue;  // boundary clip (Fig 9 adjust)
+      ++m->random_accesses;
+      if (test(row)) result->rowids.push_back(row);
+    }
+    m->random_working_set = range.size() * DataTypeWidth(col.type());
+  } else {
+    m->tuples_in = range.size();
+    for (oid row = range.begin; row < range.end; ++row) {
+      if (test(row)) result->rowids.push_back(row);
+    }
+  }
+  m->tuples_out = result->rowids.size();
+  m->bytes_in = m->tuples_in * DataTypeWidth(col.type());
+  m->bytes_out = m->tuples_out * sizeof(oid);
+  return Status::OK();
+}
+
+Status Evaluator::ExecFetchJoin(const PlanNode& node, const EvalResult& ctx,
+                                Intermediate* result, OpMetrics* m) {
+  const Column& col = *node.column;
+  const Intermediate* in;
+  APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &in));
+  RowRange range = node.EffectiveRange();
+
+  const std::vector<oid>* ids = nullptr;
+  switch (in->kind) {
+    case Intermediate::Kind::kRowIds:
+      ids = &in->rowids;
+      break;
+    case Intermediate::Kind::kPairs:
+      ids = (node.fetch_side == FetchSide::kRight) ? &in->rrowids : &in->rowids;
+      break;
+    default:
+      return Status::InvalidArgument("fetchjoin input must be rowids or pairs");
+  }
+
+  result->kind = Intermediate::Kind::kValues;
+  result->values = MakeVecLike(col);
+  result->origin = range;
+  m->tuples_in = ids->size();
+
+  // Boundary alignment (paper Figs 9/10): candidate row ids must index into
+  // this clone's slice of the fetch target. Under kStrict any out-of-slice id
+  // is a misalignment error; under kAdjust the boundaries are clipped and the
+  // sibling clones (covering the neighbouring slices) produce the rest.
+  bool sliced = node.has_slice;
+  for (oid row : *ids) {
+    if (row >= col.size()) {
+      return Status::Misaligned("fetchjoin rowid " + std::to_string(row) +
+                                " beyond column '" + col.name() + "' size " +
+                                std::to_string(col.size()));
+    }
+    if (sliced && !range.Contains(row)) {
+      if (node.align == AlignPolicy::kStrict) {
+        return Status::Misaligned(
+            "fetchjoin rowid " + std::to_string(row) + " outside slice " +
+            range.ToString() + " of '" + col.name() + "'");
+      }
+      continue;  // kAdjust: clip
+    }
+    result->head.push_back(row);
+    GatherInto(col, row, &result->values);
+  }
+  m->tuples_out = result->values.size();
+  // Scanning the candidate list is sequential (tuples_in); only the in-slice
+  // candidates cost a random gather into the slice's working set.
+  m->random_accesses = result->values.size();
+  m->random_working_set = range.size() * DataTypeWidth(col.type());
+  m->bytes_in = ids->size() * sizeof(oid);
+  m->bytes_out = result->values.size() * 16;
+  return Status::OK();
+}
+
+Status Evaluator::ExecJoin(const PlanNode& node, const EvalResult& ctx,
+                           Intermediate* result, OpMetrics* m) {
+  const Column& inner = *node.column2;
+  const auto& hash = GetOrBuildHash(inner, m);
+  result->kind = Intermediate::Kind::kPairs;
+
+  auto probe = [&](int64_t key, oid outer_row) {
+    size_t before = result->rrowids.size();
+    hash->Probe(key, &result->rrowids);
+    for (size_t i = before; i < result->rrowids.size(); ++i) {
+      result->rowids.push_back(outer_row);
+    }
+  };
+
+  if (!node.inputs.empty()) {
+    const Intermediate* in;
+    APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &in));
+    if (in->kind == Intermediate::Kind::kValues) {
+      // Probe materialized keys; head gives outer row ids.
+      uint64_t n = in->values.size();
+      bool has_head = !in->head.empty();
+      RowRange range = node.has_slice ? node.slice : in->origin;
+      result->origin = range;
+      m->tuples_in = n;
+      for (uint64_t i = 0; i < n; ++i) {
+        oid outer_row = has_head ? in->head[i] : in->origin.begin + i;
+        if (node.has_slice && !range.Contains(outer_row)) continue;
+        probe(in->values.AsInt(i), outer_row);
+      }
+    } else if (in->kind == Intermediate::Kind::kRowIds) {
+      if (!node.column) {
+        return Status::InvalidArgument("join over rowids needs an outer column");
+      }
+      const Column& outer = *node.column;
+      RowRange range = node.has_slice ? node.slice : in->origin;
+      result->origin = range;
+      m->tuples_in = in->rowids.size();
+      for (oid row : in->rowids) {
+        if (node.has_slice && !range.Contains(row)) continue;
+        probe(outer.i64()[row], row);
+      }
+    } else {
+      return Status::InvalidArgument("join input must be values or rowids");
+    }
+  } else {
+    // Leaf join: dense scan of the outer column slice.
+    const Column& outer = *node.column;
+    RowRange range = node.EffectiveRange();
+    result->origin = range;
+    m->tuples_in = range.size();
+    for (oid row = range.begin; row < range.end; ++row) {
+      probe(outer.i64()[row], row);
+    }
+  }
+  m->tuples_out = result->rowids.size();
+  m->random_accesses = m->tuples_in;
+  m->random_working_set = hash->byte_size() + inner.byte_size();
+  m->bytes_in = m->tuples_in * 8;
+  m->bytes_out = m->tuples_out * 2 * sizeof(oid);
+  return Status::OK();
+}
+
+Status Evaluator::ExecGroupBy(const PlanNode& node, const EvalResult& ctx,
+                              Intermediate* result, OpMetrics* m) {
+  result->kind = Intermediate::Kind::kGroups;
+  std::unordered_map<int64_t, int64_t> key_to_gid;
+
+  auto ingest = [&](int64_t key) {
+    auto [it, inserted] =
+        key_to_gid.emplace(key, static_cast<int64_t>(key_to_gid.size()));
+    if (inserted) result->group_keys.i64.push_back(key);
+    result->group_ids.push_back(it->second);
+  };
+
+  if (!node.inputs.empty()) {
+    const Intermediate* in;
+    APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &in));
+    if (in->kind != Intermediate::Kind::kValues) {
+      return Status::InvalidArgument("groupby input must be values");
+    }
+    result->group_keys.type = in->values.type;
+    result->group_keys.dict = in->values.dict;
+    result->origin = in->origin;
+    result->head = in->head;
+    uint64_t n = in->values.size();
+    m->tuples_in = n;
+    for (uint64_t i = 0; i < n; ++i) ingest(in->values.AsInt(i));
+  } else {
+    const Column& col = *node.column;
+    RowRange range = node.EffectiveRange();
+    result->group_keys = MakeVecLike(col);
+    result->group_keys.type = DataType::kInt64;
+    result->origin = range;
+    m->tuples_in = range.size();
+    for (oid row = range.begin; row < range.end; ++row) ingest(col.i64()[row]);
+  }
+  m->tuples_out = result->group_ids.size();
+  m->random_accesses = m->tuples_in;
+  m->random_working_set = key_to_gid.size() * 32;
+  m->bytes_in = m->tuples_in * 8;
+  m->bytes_out = m->tuples_out * 8 + result->group_keys.size() * 8;
+  return Status::OK();
+}
+
+Status Evaluator::ExecAggregate(const PlanNode& node, const EvalResult& ctx,
+                                Intermediate* result, OpMetrics* m) {
+  const Intermediate* first;
+  APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &first));
+
+  if (first->kind == Intermediate::Kind::kGroups) {
+    // Grouped aggregation.
+    const Intermediate* vals = nullptr;
+    if (node.inputs.size() == 2) {
+      APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[1], &vals));
+      if (vals->kind != Intermediate::Kind::kValues) {
+        return Status::InvalidArgument("grouped aggregate values input invalid");
+      }
+      if (vals->values.size() != first->group_ids.size()) {
+        return Status::Misaligned(
+            "grouped aggregate: groups have " +
+            std::to_string(first->group_ids.size()) + " rows, values " +
+            std::to_string(vals->values.size()));
+      }
+    } else if (node.agg_fn != AggFn::kCount) {
+      return Status::InvalidArgument("grouped non-count aggregate needs values");
+    }
+    size_t ngroups = first->group_keys.size();
+    result->kind = Intermediate::Kind::kGroupedAgg;
+    result->group_keys = first->group_keys;
+    result->agg_counts.assign(ngroups, 0);
+    double init = node.agg_fn == AggFn::kMin ? 1e300
+                 : node.agg_fn == AggFn::kMax ? -1e300
+                                              : 0.0;
+    result->agg_vals.assign(ngroups, init);
+    uint64_t n = first->group_ids.size();
+    m->tuples_in = n;
+    for (uint64_t i = 0; i < n; ++i) {
+      int64_t g = first->group_ids[i];
+      double v = vals ? vals->values.AsDouble(i) : 1.0;
+      switch (node.agg_fn) {
+        case AggFn::kSum:
+        case AggFn::kAvg: result->agg_vals[g] += v; break;
+        case AggFn::kCount: result->agg_vals[g] += 1.0; break;
+        case AggFn::kMin:
+          result->agg_vals[g] = std::min(result->agg_vals[g], v);
+          break;
+        case AggFn::kMax:
+          result->agg_vals[g] = std::max(result->agg_vals[g], v);
+          break;
+        case AggFn::kNone: break;
+      }
+      result->agg_counts[g] += 1;
+    }
+    if (node.agg_fn == AggFn::kAvg) {
+      for (size_t g = 0; g < ngroups; ++g) {
+        if (result->agg_counts[g] > 0) result->agg_vals[g] /= result->agg_counts[g];
+      }
+    }
+    m->tuples_out = ngroups;
+    m->bytes_in = n * 16;
+    m->bytes_out = ngroups * 24;
+    return Status::OK();
+  }
+
+  if (first->kind != Intermediate::Kind::kValues &&
+      first->kind != Intermediate::Kind::kRowIds &&
+      first->kind != Intermediate::Kind::kPairs) {
+    return Status::InvalidArgument("scalar aggregate input must be values/rowids");
+  }
+  // Scalar aggregation.
+  result->kind = Intermediate::Kind::kScalar;
+  uint64_t n = first->kind == Intermediate::Kind::kValues ? first->values.size()
+                                                          : first->rowids.size();
+  m->tuples_in = n;
+  double acc = node.agg_fn == AggFn::kMin ? 1e300
+              : node.agg_fn == AggFn::kMax ? -1e300
+                                           : 0.0;
+  if (first->kind == Intermediate::Kind::kValues) {
+    for (uint64_t i = 0; i < n; ++i) {
+      double v = first->values.AsDouble(i);
+      switch (node.agg_fn) {
+        case AggFn::kSum:
+        case AggFn::kAvg: acc += v; break;
+        case AggFn::kCount: acc += 1.0; break;
+        case AggFn::kMin: acc = std::min(acc, v); break;
+        case AggFn::kMax: acc = std::max(acc, v); break;
+        case AggFn::kNone: break;
+      }
+    }
+  } else {
+    if (node.agg_fn != AggFn::kCount) {
+      return Status::InvalidArgument("rowid aggregate supports only count");
+    }
+    acc = static_cast<double>(n);
+  }
+  if (node.agg_fn == AggFn::kAvg && n > 0) acc /= static_cast<double>(n);
+  result->scalar = acc;
+  result->scalar_count = static_cast<int64_t>(n);
+  m->tuples_out = 1;
+  m->bytes_in = n * 8;
+  m->bytes_out = 16;
+  return Status::OK();
+}
+
+Status Evaluator::ExecAggrMerge(const PlanNode& node, const EvalResult& ctx,
+                                Intermediate* result, OpMetrics* m) {
+  const Intermediate* in;
+  APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &in));
+  if (in->kind != Intermediate::Kind::kGroupedAgg) {
+    return Status::InvalidArgument("aggrmerge input must be grouped aggregates");
+  }
+  result->kind = Intermediate::Kind::kGroupedAgg;
+  result->group_keys.type = in->group_keys.type;
+  result->group_keys.dict = in->group_keys.dict;
+  std::unordered_map<int64_t, size_t> key_to_slot;
+  uint64_t n = in->agg_vals.size();
+  m->tuples_in = n;
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t key = in->group_keys.AsInt(i);
+    auto [it, inserted] = key_to_slot.emplace(key, result->agg_vals.size());
+    if (inserted) {
+      result->group_keys.i64.push_back(key);
+      double init = node.agg_fn == AggFn::kMin ? 1e300
+                   : node.agg_fn == AggFn::kMax ? -1e300
+                                                : 0.0;
+      result->agg_vals.push_back(init);
+      result->agg_counts.push_back(0);
+    }
+    size_t slot = it->second;
+    double v = in->agg_vals[i];
+    int64_t c = in->agg_counts.empty() ? 1 : in->agg_counts[i];
+    switch (node.agg_fn) {
+      case AggFn::kSum:
+      case AggFn::kCount: result->agg_vals[slot] += v; break;
+      case AggFn::kAvg:
+        // Partial avgs are combined weighted by their counts.
+        result->agg_vals[slot] += v * static_cast<double>(c);
+        break;
+      case AggFn::kMin:
+        result->agg_vals[slot] = std::min(result->agg_vals[slot], v);
+        break;
+      case AggFn::kMax:
+        result->agg_vals[slot] = std::max(result->agg_vals[slot], v);
+        break;
+      case AggFn::kNone: break;
+    }
+    result->agg_counts[slot] += c;
+  }
+  if (node.agg_fn == AggFn::kAvg) {
+    for (size_t g = 0; g < result->agg_vals.size(); ++g) {
+      if (result->agg_counts[g] > 0) {
+        result->agg_vals[g] /= static_cast<double>(result->agg_counts[g]);
+      }
+    }
+  }
+  m->tuples_out = result->agg_vals.size();
+  m->bytes_in = n * 24;
+  m->bytes_out = m->tuples_out * 24;
+  return Status::OK();
+}
+
+Status Evaluator::ExecUnion(const PlanNode& node, const EvalResult& ctx,
+                            Intermediate* result, OpMetrics* m) {
+  std::vector<const Intermediate*> ins;
+  ins.reserve(node.inputs.size());
+  for (int id : node.inputs) {
+    const Intermediate* in;
+    APQ_RETURN_NOT_OK(InputOf(ctx, id, &in));
+    ins.push_back(in);
+  }
+  Intermediate::Kind kind = ins[0]->kind;
+  // Scalar partials and grouped-aggregate partials mix freely: a scalar is a
+  // single-group partial with key 0 (arises when an aggregate clone inside a
+  // pack was itself parallelized and replaced by a merge).
+  auto agg_like = [](Intermediate::Kind k) {
+    return k == Intermediate::Kind::kScalar ||
+           k == Intermediate::Kind::kGroupedAgg;
+  };
+  bool all_agg_like = agg_like(kind);
+  for (const auto* in : ins) {
+    all_agg_like = all_agg_like && agg_like(in->kind);
+    if (in->kind != kind && !all_agg_like) {
+      return Status::InvalidArgument(
+          std::string("exchange union over mixed kinds: ") +
+          Intermediate::KindName(kind) + " vs " +
+          Intermediate::KindName(in->kind));
+    }
+  }
+  if (all_agg_like) kind = Intermediate::Kind::kScalar;  // unified path below
+
+  // mat.pack: concatenate preserving input order. Because clones are wired in
+  // mutation order over ordered range partitions, concatenation preserves the
+  // base-table order (paper §2.3 "the exchange union operator must maintain
+  // the correct ordering").
+  switch (kind) {
+    case Intermediate::Kind::kRowIds: {
+      result->kind = kind;
+      result->origin = ins[0]->origin;
+      for (const auto* in : ins) {
+        result->rowids.insert(result->rowids.end(), in->rowids.begin(),
+                              in->rowids.end());
+        result->origin.begin = std::min(result->origin.begin, in->origin.begin);
+        result->origin.end = std::max(result->origin.end, in->origin.end);
+      }
+      break;
+    }
+    case Intermediate::Kind::kPairs: {
+      result->kind = kind;
+      result->origin = ins[0]->origin;
+      for (const auto* in : ins) {
+        result->rowids.insert(result->rowids.end(), in->rowids.begin(),
+                              in->rowids.end());
+        result->rrowids.insert(result->rrowids.end(), in->rrowids.begin(),
+                               in->rrowids.end());
+        result->origin.begin = std::min(result->origin.begin, in->origin.begin);
+        result->origin.end = std::max(result->origin.end, in->origin.end);
+      }
+      break;
+    }
+    case Intermediate::Kind::kValues: {
+      result->kind = kind;
+      result->values.type = ins[0]->values.type;
+      result->values.dict = ins[0]->values.dict;
+      result->origin = ins[0]->origin;
+      for (const auto* in : ins) {
+        result->values.Append(in->values);
+        result->head.insert(result->head.end(), in->head.begin(),
+                            in->head.end());
+        result->origin.begin = std::min(result->origin.begin, in->origin.begin);
+        result->origin.end = std::max(result->origin.end, in->origin.end);
+      }
+      break;
+    }
+    case Intermediate::Kind::kScalar: {
+      // Packing aggregate partials (scalars and/or grouped partials):
+      // represent as one grouped aggregate so a downstream aggrmerge can
+      // recombine them; a scalar is a single group with key 0.
+      result->kind = Intermediate::Kind::kGroupedAgg;
+      result->group_keys.type = DataType::kInt64;
+      for (const auto* in : ins) {
+        if (in->kind == Intermediate::Kind::kScalar) {
+          result->group_keys.i64.push_back(0);
+          result->agg_vals.push_back(in->scalar);
+          result->agg_counts.push_back(in->scalar_count);
+        } else {
+          result->group_keys.Append(in->group_keys);
+          result->agg_vals.insert(result->agg_vals.end(), in->agg_vals.begin(),
+                                  in->agg_vals.end());
+          if (in->agg_counts.empty()) {
+            result->agg_counts.insert(result->agg_counts.end(),
+                                      in->agg_vals.size(), 1);
+          } else {
+            result->agg_counts.insert(result->agg_counts.end(),
+                                      in->agg_counts.begin(),
+                                      in->agg_counts.end());
+          }
+        }
+      }
+      break;
+    }
+    case Intermediate::Kind::kGroupedAgg: {
+      result->kind = kind;
+      result->group_keys.type = ins[0]->group_keys.type;
+      result->group_keys.dict = ins[0]->group_keys.dict;
+      for (const auto* in : ins) {
+        result->group_keys.Append(in->group_keys);
+        result->agg_vals.insert(result->agg_vals.end(), in->agg_vals.begin(),
+                                in->agg_vals.end());
+        if (in->agg_counts.empty()) {
+          result->agg_counts.insert(result->agg_counts.end(),
+                                    in->agg_vals.size(), 1);
+        } else {
+          result->agg_counts.insert(result->agg_counts.end(),
+                                    in->agg_counts.begin(),
+                                    in->agg_counts.end());
+        }
+      }
+      break;
+    }
+    default:
+      return Status::Unsupported("exchange union over kind " +
+                                 std::string(Intermediate::KindName(kind)));
+  }
+  for (const auto* in : ins) m->tuples_in += in->NumRows();
+  m->tuples_out = result->NumRows();
+  // The union's cost is materialization: it copies all input bytes.
+  for (const auto* in : ins) m->bytes_in += in->ByteSize();
+  m->bytes_out = result->ByteSize();
+  return Status::OK();
+}
+
+Status Evaluator::ExecMap(const PlanNode& node, const EvalResult& ctx,
+                          Intermediate* result, OpMetrics* m) {
+  const Intermediate* a;
+  APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &a));
+
+  // Scalar arithmetic (calc.* over single values, e.g. Q14's final ratio).
+  if (a->kind == Intermediate::Kind::kScalar ||
+      (a->kind == Intermediate::Kind::kGroupedAgg && a->agg_vals.size() == 1)) {
+    double x = a->kind == Intermediate::Kind::kScalar ? a->scalar : a->agg_vals[0];
+    double y = node.map_const;
+    if (node.inputs.size() == 2) {
+      const Intermediate* b2;
+      APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[1], &b2));
+      if (b2->kind == Intermediate::Kind::kScalar) y = b2->scalar;
+      else if (b2->kind == Intermediate::Kind::kGroupedAgg &&
+               b2->agg_vals.size() == 1) y = b2->agg_vals[0];
+      else return Status::InvalidArgument("scalar map needs scalar operands");
+    }
+    result->kind = Intermediate::Kind::kScalar;
+    switch (node.map_fn) {
+      case MapFn::kAdd: result->scalar = x + y; break;
+      case MapFn::kSub: result->scalar = x - y; break;
+      case MapFn::kRSub: result->scalar = y - x; break;
+      case MapFn::kMul: result->scalar = x * y; break;
+      case MapFn::kDiv: result->scalar = y == 0 ? 0 : x / y; break;
+      default:
+        return Status::InvalidArgument("unsupported scalar map function");
+    }
+    m->tuples_in = node.inputs.size();
+    m->tuples_out = 1;
+    return Status::OK();
+  }
+
+  if (a->kind != Intermediate::Kind::kValues) {
+    return Status::InvalidArgument("map input must be values");
+  }
+  uint64_t n = a->values.size();
+  const Intermediate* b = nullptr;
+  if (node.inputs.size() == 2) {
+    APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[1], &b));
+    if (b->kind != Intermediate::Kind::kValues || b->values.size() != n) {
+      return Status::Misaligned("binary map over misaligned inputs (" +
+                                std::to_string(n) + " vs " +
+                                std::to_string(b->values.size()) + ")");
+    }
+  }
+  result->kind = Intermediate::Kind::kValues;
+  result->values.type = DataType::kFloat64;
+  result->values.f64.reserve(n);
+  result->head = a->head;
+  result->origin = a->origin;
+  m->tuples_in = n * (b ? 2 : 1);
+
+  // Flag maps (batstr.like / comparisons folded through ifthenelse).
+  std::vector<uint8_t> like_match;
+  if (node.map_fn == MapFn::kLikeFlag) {
+    if (a->values.dict == nullptr) {
+      return Status::InvalidArgument("like-flag map needs dictionary values");
+    }
+    like_match = MatchDictionary(*a->values.dict, node.pred);
+  }
+
+  for (uint64_t i = 0; i < n; ++i) {
+    double x = a->values.AsDouble(i);
+    double y = b ? b->values.AsDouble(i) : node.map_const;
+    double r = 0;
+    switch (node.map_fn) {
+      case MapFn::kAdd: r = x + y; break;
+      case MapFn::kSub: r = x - y; break;
+      case MapFn::kRSub: r = y - x; break;
+      case MapFn::kMul: r = x * y; break;
+      case MapFn::kDiv: r = y == 0 ? 0 : x / y; break;
+      case MapFn::kLikeFlag:
+        r = like_match[a->values.i64[i]] ? 1.0 : 0.0;
+        break;
+      case MapFn::kEqFlag:
+        r = a->values.AsInt(i) == node.pred.lo ? 1.0 : 0.0;
+        break;
+      case MapFn::kRangeFlag: {
+        if (node.pred.kind == Predicate::Kind::kRangeF64) {
+          r = (x >= node.pred.flo && x <= node.pred.fhi) ? 1.0 : 0.0;
+        } else {
+          int64_t v = a->values.AsInt(i);
+          r = (v >= node.pred.lo && v <= node.pred.hi) ? 1.0 : 0.0;
+        }
+        break;
+      }
+      case MapFn::kNone: break;
+    }
+    result->values.f64.push_back(r);
+  }
+  m->tuples_out = n;
+  m->bytes_in = m->tuples_in * 8;
+  m->bytes_out = n * 8;
+  return Status::OK();
+}
+
+Status Evaluator::ExecSort(const PlanNode& node, const EvalResult& ctx,
+                           Intermediate* result, OpMetrics* m) {
+  const Intermediate* in;
+  APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &in));
+  if (in->kind != Intermediate::Kind::kValues &&
+      in->kind != Intermediate::Kind::kGroupedAgg) {
+    return Status::InvalidArgument("sort input must be values or grouped aggs");
+  }
+
+  if (in->kind == Intermediate::Kind::kGroupedAgg) {
+    // Order grouped aggregates by aggregate value.
+    uint64_t n = in->agg_vals.size();
+    std::vector<uint64_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::stable_sort(perm.begin(), perm.end(), [&](uint64_t x, uint64_t y) {
+      return node.descending ? in->agg_vals[x] > in->agg_vals[y]
+                             : in->agg_vals[x] < in->agg_vals[y];
+    });
+    if (node.kind == OpKind::kTopN && node.limit > 0 && node.limit < n) {
+      perm.resize(node.limit);
+    }
+    result->kind = Intermediate::Kind::kGroupedAgg;
+    result->group_keys.type = in->group_keys.type;
+    result->group_keys.dict = in->group_keys.dict;
+    for (uint64_t i : perm) {
+      result->group_keys.i64.push_back(in->group_keys.AsInt(i));
+      result->agg_vals.push_back(in->agg_vals[i]);
+      result->agg_counts.push_back(in->agg_counts.empty() ? 1
+                                                          : in->agg_counts[i]);
+    }
+    m->tuples_in = n;
+    m->tuples_out = perm.size();
+    m->sort_rows = n;
+    m->bytes_in = n * 24;
+    m->bytes_out = perm.size() * 24;
+    return Status::OK();
+  }
+
+  uint64_t n = in->values.size();
+  std::vector<uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint64_t x, uint64_t y) {
+    double a = in->values.AsDouble(x), b = in->values.AsDouble(y);
+    return node.descending ? a > b : a < b;
+  });
+  if (node.kind == OpKind::kTopN && node.limit > 0 && node.limit < n) {
+    perm.resize(node.limit);
+  }
+  result->kind = Intermediate::Kind::kValues;
+  result->values.type = in->values.type;
+  result->values.dict = in->values.dict;
+  result->origin = in->origin;
+  bool has_head = !in->head.empty();
+  for (uint64_t i : perm) {
+    if (in->values.is_f64()) result->values.f64.push_back(in->values.f64[i]);
+    else result->values.i64.push_back(in->values.i64[i]);
+    if (has_head) result->head.push_back(in->head[i]);
+  }
+  m->tuples_in = n;
+  m->tuples_out = perm.size();
+  m->sort_rows = n;
+  m->bytes_in = n * 8;
+  m->bytes_out = perm.size() * 8;
+  return Status::OK();
+}
+
+}  // namespace apq

@@ -1,0 +1,91 @@
+// Plan interpretation: executes a QueryPlan on real data, producing exact
+// results plus per-operator workload metrics for the cost model.
+//
+// Results are always exact regardless of how the plan was parallelized; the
+// timing of parallel execution is produced separately by the virtual-time
+// simulator (src/sched/simulator.h) from the metrics gathered here.
+#ifndef APQ_EXEC_EVALUATOR_H_
+#define APQ_EXEC_EVALUATOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/hash_index.h"
+#include "exec/intermediate.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace apq {
+
+/// \brief What one operator execution did, in machine-independent units.
+/// The cost model converts this into virtual time.
+struct OpMetrics {
+  int node_id = -1;
+  OpKind kind = OpKind::kResult;
+  uint64_t tuples_in = 0;    // tuples scanned / probed / consumed
+  uint64_t tuples_out = 0;   // tuples produced
+  uint64_t bytes_in = 0;     // bytes read (sequential)
+  uint64_t bytes_out = 0;    // bytes materialized
+  uint64_t random_accesses = 0;       // gathers / hash probes
+  uint64_t random_working_set = 0;    // bytes of the randomly accessed region
+  uint64_t hash_build_rows = 0;       // rows inserted into a new hash index
+  uint64_t sort_rows = 0;             // rows sorted (n log n term)
+};
+
+/// \brief Result of interpreting a plan.
+struct EvalResult {
+  /// Intermediates of reachable nodes, indexed by node id.
+  std::unordered_map<int, Intermediate> intermediates;
+  /// Per-node workload metrics, in topological order of execution.
+  std::vector<OpMetrics> metrics;
+  /// The intermediate feeding the result node.
+  Intermediate result;
+};
+
+/// \brief Interprets plans operator-at-a-time (like MonetDB's MAL
+/// interpreter). Hash indexes for join inners are cached across operators and
+/// across repeated invocations of the same Evaluator, mirroring BAT hash
+/// caching.
+class Evaluator {
+ public:
+  Evaluator() = default;
+
+  /// Executes `plan`; on success fills `out`.
+  Status Execute(const QueryPlan& plan, EvalResult* out);
+
+  /// Drops cached hash indexes (e.g. between unrelated experiments).
+  void ClearCaches() { hash_cache_.clear(); }
+
+ private:
+  Status ExecNode(const QueryPlan& plan, const PlanNode& node, EvalResult* out,
+                  Intermediate* result, OpMetrics* m);
+
+  Status ExecSelect(const PlanNode& node, const EvalResult& ctx,
+                    Intermediate* result, OpMetrics* m);
+  Status ExecFetchJoin(const PlanNode& node, const EvalResult& ctx,
+                       Intermediate* result, OpMetrics* m);
+  Status ExecJoin(const PlanNode& node, const EvalResult& ctx,
+                  Intermediate* result, OpMetrics* m);
+  Status ExecGroupBy(const PlanNode& node, const EvalResult& ctx,
+                     Intermediate* result, OpMetrics* m);
+  Status ExecAggregate(const PlanNode& node, const EvalResult& ctx,
+                       Intermediate* result, OpMetrics* m);
+  Status ExecAggrMerge(const PlanNode& node, const EvalResult& ctx,
+                       Intermediate* result, OpMetrics* m);
+  Status ExecUnion(const PlanNode& node, const EvalResult& ctx,
+                   Intermediate* result, OpMetrics* m);
+  Status ExecMap(const PlanNode& node, const EvalResult& ctx,
+                 Intermediate* result, OpMetrics* m);
+  Status ExecSort(const PlanNode& node, const EvalResult& ctx,
+                  Intermediate* result, OpMetrics* m);
+
+  const std::shared_ptr<HashIndex>& GetOrBuildHash(const Column& column,
+                                                   OpMetrics* m);
+
+  std::unordered_map<const Column*, std::shared_ptr<HashIndex>> hash_cache_;
+};
+
+}  // namespace apq
+
+#endif  // APQ_EXEC_EVALUATOR_H_

@@ -1,0 +1,55 @@
+// Hash index over a column's int64 values, used by the hash-join build side.
+//
+// Like MonetDB's BAT hashes, indexes are built lazily and cached per column in
+// the evaluation context, so parallel join clones probing the same inner share
+// one build.
+#ifndef APQ_EXEC_HASH_INDEX_H_
+#define APQ_EXEC_HASH_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace apq {
+
+/// \brief Open-addressing hash map from int64 key to the first matching row,
+/// with a chain for duplicates.
+class HashIndex {
+ public:
+  /// Builds an index over column values in [range.begin, range.end).
+  static std::shared_ptr<HashIndex> Build(const Column& column, RowRange range);
+
+  /// Appends all rows whose key equals `key` to `out`.
+  void Probe(int64_t key, std::vector<oid>* out) const;
+
+  /// First row matching `key`, or kInvalidOid.
+  oid ProbeFirst(int64_t key) const;
+
+  uint64_t num_keys() const { return num_entries_; }
+  uint64_t byte_size() const {
+    return buckets_.size() * sizeof(uint64_t) + next_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  static uint64_t Mix(int64_t key) {
+    uint64_t z = static_cast<uint64_t>(key) + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // buckets_ maps hash slot -> 1 + local row offset (0 = empty).
+  std::vector<uint32_t> buckets_;
+  std::vector<uint32_t> next_;  // chain: local row offset -> 1 + next offset
+  const Column* column_ = nullptr;
+  RowRange range_;
+  uint64_t mask_ = 0;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace apq
+
+#endif  // APQ_EXEC_HASH_INDEX_H_

@@ -1,0 +1,116 @@
+// Physical operator kinds and their parallelization semantics.
+//
+// The adaptive mutator (paper §2.1) classifies operators three ways:
+//  - filtering operators (select, join, fetch-join):     basic mutation
+//  - non-filtering operators (group-by, sort):           advanced mutation
+//  - the exchange union operator itself:                 medium mutation
+#ifndef APQ_EXEC_OP_KIND_H_
+#define APQ_EXEC_OP_KIND_H_
+
+#include <cstdint>
+
+namespace apq {
+
+enum class OpKind : uint8_t {
+  kSelect = 0,      // algebra.select: predicate over a base-column slice
+  kFetchJoin,       // algebra.leftfetchjoin: tuple reconstruction by row id
+  kJoin,            // algebra.join: hash join, probe outer / build inner
+  kGroupBy,         // group.group on a single attribute
+  kAggregate,       // aggr.sum/avg/count/min/max (scalar or grouped)
+  kAggrMerge,       // re-aggregation of packed partial grouped aggregates
+  kExchangeUnion,   // mat.pack: order-preserving concatenation
+  kMap,             // batcalc arithmetic
+  kSort,            // algebra.sort
+  kTopN,            // limited sort
+  kResult,          // terminal marker
+};
+
+inline const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kSelect: return "select";
+    case OpKind::kFetchJoin: return "fetchjoin";
+    case OpKind::kJoin: return "join";
+    case OpKind::kGroupBy: return "groupby";
+    case OpKind::kAggregate: return "aggregate";
+    case OpKind::kAggrMerge: return "aggrmerge";
+    case OpKind::kExchangeUnion: return "xunion";
+    case OpKind::kMap: return "map";
+    case OpKind::kSort: return "sort";
+    case OpKind::kTopN: return "topn";
+    case OpKind::kResult: return "result";
+  }
+  return "?";
+}
+
+/// True for operators whose output can be smaller than their input (the
+/// paper's "filtering property"); these use the *basic* mutation.
+inline bool IsFilteringOp(OpKind k) {
+  switch (k) {
+    case OpKind::kSelect:
+    case OpKind::kJoin:
+    case OpKind::kFetchJoin:
+    case OpKind::kMap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for operators parallelized by the *advanced* mutation (selectivity=0:
+/// output size equals input size; need partial/merge aggregation downstream).
+inline bool IsAdvancedOp(OpKind k) {
+  return k == OpKind::kGroupBy || k == OpKind::kSort;
+}
+
+/// True if the basic mutation can clone this operator onto a split of its
+/// bound base-column slice. Maps are parallelized via union propagation
+/// (medium mutation) because they carry no row-id domain to clip against.
+inline bool IsBasicParallelizable(OpKind k) {
+  switch (k) {
+    case OpKind::kSelect:
+    case OpKind::kJoin:
+    case OpKind::kFetchJoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+enum class AggFn : uint8_t { kNone = 0, kSum, kAvg, kCount, kMin, kMax };
+
+inline const char* AggFnName(AggFn f) {
+  switch (f) {
+    case AggFn::kNone: return "none";
+    case AggFn::kSum: return "sum";
+    case AggFn::kAvg: return "avg";
+    case AggFn::kCount: return "count";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+  }
+  return "?";
+}
+
+enum class MapFn : uint8_t {
+  kNone = 0,
+  kAdd,       // x + y
+  kSub,       // x - y
+  kMul,       // x * y
+  kDiv,       // x / y
+  kRSub,      // y - x (constant minus value, e.g. 1 - discount)
+  kLikeFlag,  // batstr.like + ifthenelse: 1.0 if dict string matches pattern
+  kEqFlag,    // 1.0 if value == predicate constant
+  kRangeFlag, // 1.0 if predicate lo <= value <= hi
+};
+
+enum class FetchSide : uint8_t { kAuto = 0, kLeft, kRight };
+
+/// Boundary-alignment policy for tuple reconstruction over dynamic partitions
+/// (paper Fig 9/10).
+enum class AlignPolicy : uint8_t {
+  kStrict = 0,  // misalignment is an error (fixed-size partitions, Fig 9A)
+  kAdjust,      // clip candidate row ids to the slice boundary (Fig 9B-F)
+};
+
+}  // namespace apq
+
+#endif  // APQ_EXEC_OP_KIND_H_

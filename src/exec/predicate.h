@@ -1,0 +1,76 @@
+// Selection predicates over columnar data.
+#ifndef APQ_EXEC_PREDICATE_H_
+#define APQ_EXEC_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/column.h"
+
+namespace apq {
+
+/// \brief A single-column predicate (the unit evaluated by the select
+/// operator). Range bounds are inclusive.
+struct Predicate {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kRangeI64,   // lo <= v <= hi on int64/date
+    kRangeF64,   // flo <= v <= fhi on float64
+    kEqI64,      // v == lo
+    kLike,       // substring match on dictionary strings
+  };
+
+  Kind kind = Kind::kNone;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  double flo = 0.0;
+  double fhi = 0.0;
+  std::string pattern;  // for kLike: substring to find
+  bool anti = false;    // negate the match
+
+  static Predicate RangeI64(int64_t lo, int64_t hi) {
+    Predicate p;
+    p.kind = Kind::kRangeI64;
+    p.lo = lo;
+    p.hi = hi;
+    return p;
+  }
+  static Predicate RangeF64(double lo, double hi) {
+    Predicate p;
+    p.kind = Kind::kRangeF64;
+    p.flo = lo;
+    p.fhi = hi;
+    return p;
+  }
+  static Predicate EqI64(int64_t v) {
+    Predicate p;
+    p.kind = Kind::kEqI64;
+    p.lo = v;
+    return p;
+  }
+  static Predicate Like(std::string pattern, bool anti = false) {
+    Predicate p;
+    p.kind = Kind::kLike;
+    p.pattern = std::move(pattern);
+    p.anti = anti;
+    return p;
+  }
+
+  std::string ToString() const {
+    switch (kind) {
+      case Kind::kNone: return "true";
+      case Kind::kRangeI64:
+        return std::to_string(lo) + "<=v<=" + std::to_string(hi);
+      case Kind::kRangeF64:
+        return std::to_string(flo) + "<=v<=" + std::to_string(fhi);
+      case Kind::kEqI64: return "v==" + std::to_string(lo);
+      case Kind::kLike:
+        return std::string(anti ? "not like %" : "like %") + pattern + "%";
+    }
+    return "?";
+  }
+};
+
+}  // namespace apq
+
+#endif  // APQ_EXEC_PREDICATE_H_

@@ -1,0 +1,67 @@
+#include "heuristic/parallelizer.h"
+
+#include <algorithm>
+
+namespace apq {
+
+StatusOr<QueryPlan> HeuristicParallelizer::Parallelize(
+    const QueryPlan& serial_plan) const {
+  QueryPlan plan = serial_plan.Clone();
+  if (config_.dop < 2) return plan;
+
+  MutatorConfig mcfg;
+  mcfg.min_partition_rows = config_.min_partition_rows;
+  // The heuristic baseline has no plan-explosion guard: a large int stands in
+  // for "unbounded" when pushing unions up.
+  mcfg.union_fanin_threshold = 1 << 20;
+  Mutator mutator(mcfg);
+
+  // Phase 1: split leaf operators N ways. With largest_table_only, split only
+  // the leaves reading the biggest base input (MonetDB partitions the largest
+  // table and propagates).
+  auto order = plan.TopologicalOrder();
+  if (!order.ok()) return order.status();
+  uint64_t largest = 0;
+  for (int id : order.ValueOrDie()) {
+    const PlanNode& n = plan.node(id);
+    if (!n.inputs.empty() || !IsBasicParallelizable(n.kind)) continue;
+    if (!n.column) continue;
+    largest = std::max(largest, n.EffectiveRange().size());
+  }
+  for (int id : order.ValueOrDie()) {
+    const PlanNode& n = plan.node(id);
+    if (!n.inputs.empty() || !IsBasicParallelizable(n.kind)) continue;
+    if (!n.column) continue;
+    uint64_t rows = n.EffectiveRange().size();
+    if (config_.largest_table_only && rows < largest) continue;
+    if (rows < static_cast<uint64_t>(config_.dop)) continue;
+    Status st = mutator.SplitNode(&plan, id, config_.dop);
+    if (!st.ok() && st.code() != StatusCode::kUnsupported) return st;
+  }
+
+  // Phase 2: push unions up through dataflow-dependent operators until fix-
+  // point (a plan re-writer "propagating the partitions to data flow
+  // dependent operators", paper §4.2.1).
+  for (int iter = 0; iter < 1024; ++iter) {
+    auto topo = plan.TopologicalOrder();
+    if (!topo.ok()) return topo.status();
+    bool changed = false;
+    for (int id : topo.ValueOrDie()) {
+      if (plan.node(id).kind != OpKind::kExchangeUnion) continue;
+      Status st = mutator.PropagateUnion(&plan, id, /*max_fanin=*/1 << 20);
+      if (st.ok()) {
+        Mutator::FlattenUnions(&plan);
+        changed = true;
+        break;  // plan structure changed; recompute topo order
+      }
+      if (st.code() != StatusCode::kUnsupported) return st;
+    }
+    if (!changed) break;
+  }
+
+  APQ_RETURN_NOT_OK(plan.Validate());
+  plan.set_name(serial_plan.name() + "_hp" + std::to_string(config_.dop));
+  return plan;
+}
+
+}  // namespace apq

@@ -1,0 +1,46 @@
+// Heuristic (static) plan parallelization: the MonetDB-style baseline the
+// paper compares against (mitosis + mergetable).
+//
+// Given a serial plan and a target degree of parallelism N, every leaf
+// operator reading the largest table is split into N equi-range partitions,
+// and the resulting exchange unions are pushed up through all dataflow-
+// dependent operators until only the final packs/merges remain. All
+// parallelizable operators end up with exactly N clones, independent of data
+// distribution or runtime feedback — which is precisely what the adaptive
+// scheme improves upon.
+#ifndef APQ_HEURISTIC_PARALLELIZER_H_
+#define APQ_HEURISTIC_PARALLELIZER_H_
+
+#include "adaptive/mutator.h"
+#include "plan/plan.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace apq {
+
+/// \brief Heuristic parallelizer configuration.
+struct HeuristicConfig {
+  int dop = 32;  // number of partitions / threads (MonetDB: #threads)
+  /// Partition only leaves whose column belongs to the largest base input
+  /// (measured by the leaf's readable range in bytes), like MonetDB's
+  /// mitosis; smaller inputs stay unpartitioned.
+  bool largest_table_only = true;
+  uint64_t min_partition_rows = 1;
+};
+
+/// \brief Statically parallelizes a serial plan.
+class HeuristicParallelizer {
+ public:
+  explicit HeuristicParallelizer(HeuristicConfig config = HeuristicConfig())
+      : config_(config) {}
+
+  /// Returns the parallelized plan (the input plan is not modified).
+  StatusOr<QueryPlan> Parallelize(const QueryPlan& serial_plan) const;
+
+ private:
+  HeuristicConfig config_;
+};
+
+}  // namespace apq
+
+#endif  // APQ_HEURISTIC_PARALLELIZER_H_

@@ -1,0 +1,161 @@
+#include "plan/builder.h"
+
+namespace apq {
+
+int PlanBuilder::Select(const Column* column, Predicate pred, int candidates,
+                        std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kSelect;
+  n.column = column;
+  n.pred = std::move(pred);
+  if (candidates >= 0) n.inputs.push_back(candidates);
+  n.label = label.empty() ? "select(" + column->name() + ")" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::FetchJoin(const Column* column, int input, FetchSide side,
+                           std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kFetchJoin;
+  n.column = column;
+  n.inputs = {input};
+  n.fetch_side = side;
+  n.label = label.empty() ? "fetch(" + column->name() + ")" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::Join(int probe_input, const Column* inner, std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kJoin;
+  n.column2 = inner;
+  n.inputs = {probe_input};
+  n.label = label.empty() ? "join(~" + inner->name() + ")" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::JoinLeaf(const Column* outer, const Column* inner,
+                          std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kJoin;
+  n.column = outer;
+  n.column2 = inner;
+  n.label = label.empty()
+                ? "join(" + outer->name() + "~" + inner->name() + ")"
+                : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::GroupBy(int values_input, std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kGroupBy;
+  n.inputs = {values_input};
+  n.label = label.empty() ? "groupby" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::AggScalar(AggFn fn, int input, std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kAggregate;
+  n.agg_fn = fn;
+  n.inputs = {input};
+  n.label = label.empty() ? std::string(AggFnName(fn)) : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::AggGrouped(AggFn fn, int groups, int values,
+                            std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kAggregate;
+  n.agg_fn = fn;
+  n.inputs = {groups};
+  if (values >= 0) n.inputs.push_back(values);
+  n.label = label.empty() ? std::string(AggFnName(fn)) + "_by" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::MapConst(MapFn fn, int input, double c, std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kMap;
+  n.map_fn = fn;
+  n.map_const = c;
+  n.map_use_const = true;
+  n.inputs = {input};
+  n.label = label.empty() ? "mapc" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::Map2(MapFn fn, int a, int b, std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kMap;
+  n.map_fn = fn;
+  n.inputs = {a, b};
+  n.label = label.empty() ? "map2" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::LikeFlag(int input, std::string pattern, bool anti,
+                          std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kMap;
+  n.map_fn = MapFn::kLikeFlag;
+  n.map_use_const = true;
+  n.pred = Predicate::Like(std::move(pattern), anti);
+  n.inputs = {input};
+  n.label = label.empty() ? "likeflag" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::EqFlag(int input, int64_t v, std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kMap;
+  n.map_fn = MapFn::kEqFlag;
+  n.map_use_const = true;
+  n.pred = Predicate::EqI64(v);
+  n.inputs = {input};
+  n.label = label.empty() ? "eqflag" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::RangeFlag(int input, int64_t lo, int64_t hi,
+                           std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kMap;
+  n.map_fn = MapFn::kRangeFlag;
+  n.map_use_const = true;
+  n.pred = Predicate::RangeI64(lo, hi);
+  n.inputs = {input};
+  n.label = label.empty() ? "rangeflag" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::Sort(int input, bool descending, std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kSort;
+  n.descending = descending;
+  n.inputs = {input};
+  n.label = label.empty() ? "sort" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::TopN(int input, uint64_t limit, bool descending,
+                      std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kTopN;
+  n.limit = limit;
+  n.descending = descending;
+  n.inputs = {input};
+  n.label = label.empty() ? "topn" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+QueryPlan PlanBuilder::Result(int input) {
+  PlanNode n;
+  n.kind = OpKind::kResult;
+  n.inputs = {input};
+  n.label = "result";
+  int id = plan_.AddNode(std::move(n));
+  plan_.set_result(id);
+  return std::move(plan_);
+}
+
+}  // namespace apq

@@ -1,0 +1,77 @@
+// Fluent construction of serial plans (the optimizer front-end stand-in).
+#ifndef APQ_PLAN_BUILDER_H_
+#define APQ_PLAN_BUILDER_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace apq {
+
+/// \brief Builds serial query plans node by node. Each method appends one
+/// operator and returns its node id for wiring.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(std::string name) : plan_(std::move(name)) {}
+
+  /// Predicate scan over a base column; `candidates` (optional) restricts the
+  /// scan to a prior selection's row ids.
+  int Select(const Column* column, Predicate pred, int candidates = -1,
+             std::string label = "");
+
+  /// Tuple reconstruction: fetches `column` values at the input's row ids
+  /// (kRowIds input) or at one side of a join result (kPairs input).
+  int FetchJoin(const Column* column, int input,
+                FetchSide side = FetchSide::kAuto, std::string label = "");
+
+  /// Hash join probing the input values (head row ids = outer) against a
+  /// hash index on `inner`.
+  int Join(int probe_input, const Column* inner, std::string label = "");
+
+  /// Leaf hash join: dense scan of `outer` probed against `inner`.
+  int JoinLeaf(const Column* outer, const Column* inner,
+               std::string label = "");
+
+  /// Single-attribute group-by over materialized key values.
+  int GroupBy(int values_input, std::string label = "");
+
+  /// Scalar aggregate over values (or count over row ids).
+  int AggScalar(AggFn fn, int input, std::string label = "");
+
+  /// Grouped aggregate: fn per group of `groups`, over `values` (omit for
+  /// count).
+  int AggGrouped(AggFn fn, int groups, int values = -1, std::string label = "");
+
+  /// Arithmetic with a constant: fn(value, c) per row.
+  int MapConst(MapFn fn, int input, double c, std::string label = "");
+
+  /// Element-wise arithmetic between two aligned value vectors.
+  int Map2(MapFn fn, int a, int b, std::string label = "");
+
+  /// 0/1 flag per row: dictionary string LIKE %pattern%.
+  int LikeFlag(int input, std::string pattern, bool anti = false,
+               std::string label = "");
+
+  /// 0/1 flag per row: value == v.
+  int EqFlag(int input, int64_t v, std::string label = "");
+
+  /// 0/1 flag per row: lo <= value <= hi.
+  int RangeFlag(int input, int64_t lo, int64_t hi, std::string label = "");
+
+  /// Sort values or grouped aggregates.
+  int Sort(int input, bool descending = false, std::string label = "");
+  int TopN(int input, uint64_t n, bool descending = false,
+           std::string label = "");
+
+  /// Marks `input` as the query result and returns the finished plan.
+  QueryPlan Result(int input);
+
+  QueryPlan& plan() { return plan_; }
+
+ private:
+  QueryPlan plan_;
+};
+
+}  // namespace apq
+
+#endif  // APQ_PLAN_BUILDER_H_

@@ -1,0 +1,63 @@
+// Plan nodes: one physical operator instance with its bindings.
+//
+// Plans are MAL-like dataflow graphs: a node lists the node ids it consumes
+// (its dataflow dependencies) plus bindings to base columns and range slices.
+// Keeping operators individually identifiable in the plan is the paper's
+// stated applicability requirement for adaptive parallelization.
+#ifndef APQ_PLAN_NODE_H_
+#define APQ_PLAN_NODE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/op_kind.h"
+#include "exec/predicate.h"
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace apq {
+
+/// \brief One operator instance in a query plan.
+struct PlanNode {
+  int id = -1;
+  OpKind kind = OpKind::kResult;
+  /// Producing node ids, in argument order. Empty entries are not allowed;
+  /// leaf operators (no inputs) read directly from their bound column slice.
+  std::vector<int> inputs;
+
+  // --- bindings ----------------------------------------------------------
+  /// Primary bound base column (select source, fetch-join target, join outer,
+  /// group-by key source when leaf).
+  const Column* column = nullptr;
+  /// Secondary bound column (join inner / build side).
+  const Column* column2 = nullptr;
+  /// Range partition of the primary column this clone works on. When
+  /// has_slice is false the operator sees the full column.
+  RowRange slice;
+  bool has_slice = false;
+
+  // --- operator parameters ------------------------------------------------
+  Predicate pred;                        // kSelect
+  AggFn agg_fn = AggFn::kNone;           // kAggregate / kAggrMerge
+  MapFn map_fn = MapFn::kNone;           // kMap
+  double map_const = 0.0;                // kMap constant operand
+  bool map_use_const = false;
+  FetchSide fetch_side = FetchSide::kAuto;  // kFetchJoin over kPairs input
+  AlignPolicy align = AlignPolicy::kAdjust; // kFetchJoin boundary policy
+  bool descending = false;               // kSort
+  uint64_t limit = 0;                    // kTopN
+
+  std::string label;  // human-readable tag for printing / tomograph
+
+  /// The effective range of the primary column this node reads.
+  RowRange EffectiveRange() const {
+    if (!column) return RowRange{0, 0};
+    return has_slice ? slice : column->full_range();
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace apq
+
+#endif  // APQ_PLAN_NODE_H_

@@ -1,0 +1,127 @@
+#include "profile/profiler.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace apq {
+
+int RunProfile::MostExpensiveIndex() const {
+  int best = -1;
+  double best_time = -1;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kResult) continue;
+    double d = ops[i].duration_ns();
+    if (d > best_time) {
+      best_time = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int RunProfile::MostExpensiveNode() const {
+  int idx = MostExpensiveIndex();
+  return idx < 0 ? -1 : ops[idx].node_id;
+}
+
+double RunProfile::TotalBusyNs() const {
+  double total = 0;
+  for (const auto& op : ops) total += op.duration_ns();
+  return total;
+}
+
+std::vector<SimTask> BuildSimTasks(const QueryPlan& plan,
+                                   const std::vector<OpMetrics>& metrics,
+                                   const CostModel& cost_model, int instance,
+                                   double arrival_ns) {
+  std::unordered_map<int, int> node_to_task;
+  node_to_task.reserve(metrics.size());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    node_to_task[metrics[i].node_id] = static_cast<int>(i);
+  }
+  std::vector<SimTask> tasks(metrics.size());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const OpMetrics& m = metrics[i];
+    SimTask& t = tasks[i];
+    t.node_id = m.node_id;
+    t.instance = instance;
+    t.work_ns = cost_model.Work(m);
+    t.mem_intensity = cost_model.MemIntensity(m);
+    t.arrival_ns = arrival_ns;
+    for (int in : plan.node(m.node_id).inputs) {
+      auto it = node_to_task.find(in);
+      if (it != node_to_task.end()) t.deps.push_back(it->second);
+    }
+  }
+  return tasks;
+}
+
+RunProfile MakeRunProfile(const QueryPlan& plan,
+                          const std::vector<OpMetrics>& metrics,
+                          const CostModel& cost_model,
+                          const std::vector<SimTaskTiming>& timings,
+                          double makespan_ns, double utilization) {
+  RunProfile rp;
+  rp.makespan_ns = makespan_ns;
+  rp.utilization = utilization;
+  rp.ops.reserve(metrics.size());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    OpProfile op;
+    op.node_id = metrics[i].node_id;
+    op.kind = metrics[i].kind;
+    op.label = plan.node(op.node_id).label;
+    op.work_ns = cost_model.Work(metrics[i]);
+    op.start_ns = timings[i].start_ns;
+    op.end_ns = timings[i].end_ns;
+    op.core = timings[i].core;
+    op.tuples_in = metrics[i].tuples_in;
+    op.tuples_out = metrics[i].tuples_out;
+    rp.ops.push_back(op);
+  }
+  return rp;
+}
+
+std::string RenderTomograph(const RunProfile& profile, int width) {
+  // One row per core; each operator paints its kind's letter over its
+  // execution interval. '.' = idle.
+  char glyph[16];
+  glyph[static_cast<int>(OpKind::kSelect)] = 'S';
+  glyph[static_cast<int>(OpKind::kFetchJoin)] = 'F';
+  glyph[static_cast<int>(OpKind::kJoin)] = 'J';
+  glyph[static_cast<int>(OpKind::kGroupBy)] = 'G';
+  glyph[static_cast<int>(OpKind::kAggregate)] = 'A';
+  glyph[static_cast<int>(OpKind::kAggrMerge)] = 'M';
+  glyph[static_cast<int>(OpKind::kExchangeUnion)] = 'U';
+  glyph[static_cast<int>(OpKind::kMap)] = 'm';
+  glyph[static_cast<int>(OpKind::kSort)] = 'O';
+  glyph[static_cast<int>(OpKind::kTopN)] = 'T';
+  glyph[static_cast<int>(OpKind::kResult)] = 'r';
+
+  int max_core = 0;
+  for (const auto& op : profile.ops) max_core = std::max(max_core, op.core);
+  double span = profile.makespan_ns > 0 ? profile.makespan_ns : 1.0;
+
+  std::vector<std::string> rows(max_core + 1, std::string(width, '.'));
+  for (const auto& op : profile.ops) {
+    if (op.core < 0 || op.kind == OpKind::kResult) continue;
+    int b = static_cast<int>(op.start_ns / span * width);
+    int e = static_cast<int>(op.end_ns / span * width);
+    if (e <= b) e = b + 1;
+    if (e > width) e = width;
+    for (int x = b; x < e; ++x) rows[op.core][x] = glyph[static_cast<int>(op.kind)];
+  }
+
+  std::ostringstream os;
+  os << "tomograph: makespan=" << profile.makespan_ns / 1e6
+     << " ms, utilization=" << profile.utilization * 100 << "%\n";
+  os << "  S=select F=fetchjoin J=join G=groupby A=aggr M=merge U=union "
+        "m=map O=sort\n";
+  for (size_t c = 0; c < rows.size(); ++c) {
+    os << (c < 10 ? " core " : "core ") << c << " |" << rows[c] << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace apq

@@ -1,0 +1,73 @@
+// Per-operator execution profiles: the feedback that drives adaptive
+// parallelization (paper §2 "Run-time environment": scheduler + interpreter +
+// profiler; profiled data = operator execution time, memory claims, thread).
+#ifndef APQ_PROFILE_PROFILER_H_
+#define APQ_PROFILE_PROFILER_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/cost_model.h"
+#include "exec/evaluator.h"
+#include "plan/plan.h"
+#include "sched/simulator.h"
+
+namespace apq {
+
+/// \brief Profile of one operator execution within a run.
+struct OpProfile {
+  int node_id = -1;
+  OpKind kind = OpKind::kResult;
+  std::string label;
+  double work_ns = 0;       // cost-model single-core work
+  double start_ns = 0;
+  double end_ns = 0;
+  int core = -1;
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+
+  double duration_ns() const { return end_ns - start_ns; }
+};
+
+/// \brief Profile of one complete query run on the simulated machine.
+struct RunProfile {
+  std::vector<OpProfile> ops;  // in execution (topological) order
+  double makespan_ns = 0;
+  double utilization = 0;  // multi-core utilization (Figs 19/20)
+
+  /// The most expensive operator by measured execution time, skipping
+  /// kResult. Returns ops index, or -1 if empty.
+  int MostExpensiveIndex() const;
+
+  /// Node id of the most expensive operator (-1 if none).
+  int MostExpensiveNode() const;
+
+  /// Total busy time across operators (the "total CPU core time" line of the
+  /// paper's tomograph captions).
+  double TotalBusyNs() const;
+};
+
+/// \brief Builds simulator tasks from evaluated metrics, wiring dataflow
+/// dependencies from the plan.
+/// `instance` and `arrival_ns` support concurrent-workload simulations; the
+/// returned task order matches `metrics` order.
+std::vector<SimTask> BuildSimTasks(const QueryPlan& plan,
+                                   const std::vector<OpMetrics>& metrics,
+                                   const CostModel& cost_model,
+                                   int instance = 0, double arrival_ns = 0);
+
+/// \brief Assembles per-operator profiles from metrics plus simulated
+/// timings (timings[i] corresponds to metrics[i]).
+RunProfile MakeRunProfile(const QueryPlan& plan,
+                          const std::vector<OpMetrics>& metrics,
+                          const CostModel& cost_model,
+                          const std::vector<SimTaskTiming>& timings,
+                          double makespan_ns, double utilization);
+
+/// \brief ASCII rendering of per-core operator activity over time, in the
+/// spirit of the paper's tomograph figures (Figs 19/20).
+std::string RenderTomograph(const RunProfile& profile, int width = 72);
+
+}  // namespace apq
+
+#endif  // APQ_PROFILE_PROFILER_H_

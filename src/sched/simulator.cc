@@ -1,0 +1,219 @@
+#include "sched/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace apq {
+
+namespace {
+constexpr double kEps = 1e-6;
+}
+
+SimOutcome Simulator::Run(const std::vector<SimTask>& tasks,
+                          uint64_t run_seed_salt) const {
+  SimOutcome out;
+  const size_t n = tasks.size();
+  out.timings.assign(n, SimTaskTiming{});
+  if (n == 0) return out;
+
+  Rng rng(config_.seed * 0x9E3779B97F4A7C15ULL + run_seed_salt + 1);
+
+  // Apply noise and OS-interference peaks to each task's work.
+  std::vector<double> remaining(n);
+  for (size_t i = 0; i < n; ++i) {
+    double w = tasks[i].work_ns;
+    if (config_.noise_sigma > 0) {
+      w *= std::exp(rng.NextGaussian() * config_.noise_sigma);
+    }
+    if (config_.peak_probability > 0 &&
+        rng.NextDouble() < config_.peak_probability) {
+      w *= config_.peak_magnitude;
+    }
+    if (w < 1.0) w = 1.0;
+    remaining[i] = w;
+    out.timings[i].noisy_work_ns = w;
+  }
+
+  // Dependency bookkeeping.
+  std::vector<int> pending_deps(n, 0);
+  std::vector<std::vector<int>> consumers(n);
+  for (size_t i = 0; i < n; ++i) {
+    pending_deps[i] = static_cast<int>(tasks[i].deps.size());
+    for (int d : tasks[i].deps) consumers[d].push_back(static_cast<int>(i));
+  }
+
+  // Tasks whose deps are met but whose arrival is in the future.
+  std::vector<int> waiting_arrival;
+  // Ready tasks, FIFO per instance. Core assignment is fair across
+  // instances (each client connection has its own interpreter; the scheduler
+  // round-robins clients rather than letting one batch monopolize cores).
+  int max_inst = 0;
+  for (const auto& t : tasks) max_inst = std::max(max_inst, t.instance);
+  std::vector<std::deque<int>> ready(max_inst + 1);
+  std::vector<int> running_per_instance(max_inst + 1, 0);
+  size_t num_ready = 0;
+  auto push_ready = [&](int t) {
+    ready[tasks[t].instance].push_back(t);
+    ++num_ready;
+  };
+  auto pop_ready = [&]() {
+    int best_inst = -1;
+    for (int i = 0; i <= max_inst; ++i) {
+      if (ready[i].empty()) continue;
+      if (best_inst < 0 ||
+          running_per_instance[i] < running_per_instance[best_inst]) {
+        best_inst = i;
+      }
+    }
+    int t = ready[best_inst].front();
+    ready[best_inst].pop_front();
+    --num_ready;
+    return t;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (pending_deps[i] == 0) {
+      if (tasks[i].arrival_ns > 0) waiting_arrival.push_back(static_cast<int>(i));
+      else push_ready(static_cast<int>(i));
+    }
+  }
+  std::sort(waiting_arrival.begin(), waiting_arrival.end(), [&](int a, int b) {
+    return tasks[a].arrival_ns < tasks[b].arrival_ns;
+  });
+  size_t next_arrival_idx = 0;
+
+  std::vector<int> running;
+  std::vector<bool> core_busy(config_.logical_cores, false);
+  double now = 0;
+  size_t completed = 0;
+
+  auto alloc_core = [&]() {
+    for (int c = 0; c < config_.logical_cores; ++c) {
+      if (!core_busy[c]) {
+        core_busy[c] = true;
+        return c;
+      }
+    }
+    return -1;
+  };
+
+  // Rate of each running task given the current running set:
+  //   cpu share:   full speed while active <= physical cores; hyperthreads
+  //                only add smt_throughput each beyond that.
+  //   memory share: memory-bound fraction slows when the summed intensity
+  //                exceeds the number of sustained memory streams.
+  auto compute_rates = [&](std::vector<double>* rates) {
+    int active = static_cast<int>(running.size());
+    double cpu_share = 1.0;
+    if (active > config_.physical_cores) {
+      double capacity =
+          config_.physical_cores +
+          config_.smt_throughput *
+              std::min(active - config_.physical_cores,
+                       config_.logical_cores - config_.physical_cores);
+      cpu_share = capacity / active;
+    }
+    double mem_sum = 0;
+    for (int t : running) mem_sum += tasks[t].mem_intensity;
+    double mem_factor =
+        mem_sum > config_.mem_streams ? config_.mem_streams / mem_sum : 1.0;
+    rates->resize(running.size());
+    for (size_t i = 0; i < running.size(); ++i) {
+      double m = tasks[running[i]].mem_intensity;
+      (*rates)[i] = cpu_share * ((1.0 - m) + m * mem_factor);
+      if ((*rates)[i] < 1e-9) (*rates)[i] = 1e-9;
+    }
+  };
+
+  std::vector<double> rates;
+  while (completed < n) {
+    // Admit arrivals whose time has come.
+    while (next_arrival_idx < waiting_arrival.size() &&
+           tasks[waiting_arrival[next_arrival_idx]].arrival_ns <= now + kEps) {
+      push_ready(waiting_arrival[next_arrival_idx]);
+      ++next_arrival_idx;
+    }
+    // Start ready tasks on free cores, fairly across instances.
+    while (num_ready > 0) {
+      int core = alloc_core();
+      if (core < 0) break;
+      int t = pop_ready();
+      running.push_back(t);
+      ++running_per_instance[tasks[t].instance];
+      out.timings[t].start_ns = now;
+      out.timings[t].core = core;
+    }
+
+    compute_rates(&rates);
+
+    // Time to next completion among running tasks.
+    double dt = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < running.size(); ++i) {
+      dt = std::min(dt, remaining[running[i]] / rates[i]);
+    }
+    // Time to next arrival.
+    if (next_arrival_idx < waiting_arrival.size()) {
+      double ta = tasks[waiting_arrival[next_arrival_idx]].arrival_ns - now;
+      if (running.empty() || ta < dt) dt = ta;
+    }
+    if (!std::isfinite(dt)) break;  // deadlock guard (cyclic deps)
+    if (dt < 0) dt = 0;
+
+    now += dt;
+    // Progress running tasks and collect completions.
+    std::vector<int> finished;
+    for (size_t i = 0; i < running.size(); ++i) {
+      remaining[running[i]] -= rates[i] * dt;
+      if (remaining[running[i]] <= kEps) finished.push_back(running[i]);
+    }
+    for (int t : finished) {
+      out.timings[t].end_ns = now;
+      core_busy[out.timings[t].core] = false;
+      running.erase(std::find(running.begin(), running.end(), t));
+      --running_per_instance[tasks[t].instance];
+      ++completed;
+      for (int c : consumers[t]) {
+        if (--pending_deps[c] == 0) {
+          if (tasks[c].arrival_ns > now + kEps) {
+            // Insert keeping arrival order.
+            auto pos = std::upper_bound(
+                waiting_arrival.begin() + next_arrival_idx,
+                waiting_arrival.end(), c, [&](int a, int b) {
+                  return tasks[a].arrival_ns < tasks[b].arrival_ns;
+                });
+            waiting_arrival.insert(pos, c);
+          } else {
+            push_ready(c);
+          }
+        }
+      }
+    }
+  }
+
+  // Outcome statistics.
+  int max_instance = 0;
+  for (const auto& t : tasks) max_instance = std::max(max_instance, t.instance);
+  out.instance_completion_ns.assign(max_instance + 1, 0.0);
+  std::vector<double> instance_arrival(max_instance + 1, 1e300);
+  for (size_t i = 0; i < n; ++i) {
+    out.makespan_ns = std::max(out.makespan_ns, out.timings[i].end_ns);
+    out.total_busy_ns += out.timings[i].end_ns - out.timings[i].start_ns;
+    int inst = tasks[i].instance;
+    out.instance_completion_ns[inst] =
+        std::max(out.instance_completion_ns[inst], out.timings[i].end_ns);
+    instance_arrival[inst] = std::min(instance_arrival[inst], tasks[i].arrival_ns);
+  }
+  out.instance_response_ns.resize(max_instance + 1);
+  for (int i = 0; i <= max_instance; ++i) {
+    out.instance_response_ns[i] =
+        out.instance_completion_ns[i] -
+        (instance_arrival[i] > 1e299 ? 0.0 : instance_arrival[i]);
+  }
+  if (out.makespan_ns > 0) {
+    out.utilization = out.total_busy_ns / (out.makespan_ns * config_.logical_cores);
+  }
+  return out;
+}
+
+}  // namespace apq

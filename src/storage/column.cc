@@ -1,0 +1,24 @@
+#include "storage/column.h"
+
+namespace apq {
+
+std::shared_ptr<Column> Column::MakeString(std::string name,
+                                           const std::vector<std::string>& data) {
+  auto c = std::make_shared<Column>(std::move(name), DataType::kString);
+  c->i64_.reserve(data.size());
+  for (const auto& s : data) {
+    auto it = c->dict_index_.find(s);
+    int64_t code;
+    if (it == c->dict_index_.end()) {
+      code = static_cast<int64_t>(c->dict_.size());
+      c->dict_.push_back(s);
+      c->dict_index_.emplace(s, code);
+    } else {
+      code = it->second;
+    }
+    c->i64_.push_back(code);
+  }
+  return c;
+}
+
+}  // namespace apq

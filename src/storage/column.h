@@ -1,0 +1,117 @@
+// Columnar storage: a Column is a typed, contiguous array of values.
+//
+// Strings are dictionary encoded: the column stores int64 codes plus a shared
+// dictionary. Dates are int64 days since 1970-01-01. This mirrors the array
+// representation the paper assumes for range-sliced adaptive partitioning.
+#ifndef APQ_STORAGE_COLUMN_H_
+#define APQ_STORAGE_COLUMN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace apq {
+
+/// \brief A typed column of values. Base storage for tables and a value
+/// container for materialized intermediates.
+class Column {
+ public:
+  Column(std::string name, DataType type) : name_(std::move(name)), type_(type) {}
+
+  static std::shared_ptr<Column> MakeInt64(std::string name,
+                                           std::vector<int64_t> data) {
+    auto c = std::make_shared<Column>(std::move(name), DataType::kInt64);
+    c->i64_ = std::move(data);
+    return c;
+  }
+  static std::shared_ptr<Column> MakeFloat64(std::string name,
+                                             std::vector<double> data) {
+    auto c = std::make_shared<Column>(std::move(name), DataType::kFloat64);
+    c->f64_ = std::move(data);
+    return c;
+  }
+  static std::shared_ptr<Column> MakeDate(std::string name,
+                                          std::vector<int64_t> days) {
+    auto c = std::make_shared<Column>(std::move(name), DataType::kDate);
+    c->i64_ = std::move(days);
+    return c;
+  }
+  /// Builds a dictionary-encoded string column from raw strings.
+  static std::shared_ptr<Column> MakeString(std::string name,
+                                            const std::vector<std::string>& data);
+
+  const std::string& name() const { return name_; }
+  DataType type() const { return type_; }
+
+  uint64_t size() const {
+    return type_ == DataType::kFloat64 ? f64_.size() : i64_.size();
+  }
+  uint64_t byte_size() const { return size() * DataTypeWidth(type_); }
+
+  bool is_numeric_storage() const { return type_ == DataType::kFloat64; }
+
+  /// Raw int64 payload (values, date days, or dictionary codes).
+  const std::vector<int64_t>& i64() const { return i64_; }
+  std::vector<int64_t>& mutable_i64() { return i64_; }
+  const std::vector<double>& f64() const { return f64_; }
+  std::vector<double>& mutable_f64() { return f64_; }
+
+  /// Dictionary for string columns (code -> string).
+  const std::vector<std::string>& dictionary() const { return dict_; }
+
+  /// Looks up a string's dictionary code; -1 if absent.
+  int64_t DictCode(const std::string& s) const {
+    auto it = dict_index_.find(s);
+    return it == dict_index_.end() ? -1 : it->second;
+  }
+  const std::string& DictString(int64_t code) const { return dict_[code]; }
+
+  int64_t GetInt(oid row) const { return i64_[row]; }
+  double GetDouble(oid row) const {
+    return type_ == DataType::kFloat64 ? f64_[row]
+                                       : static_cast<double>(i64_[row]);
+  }
+
+  RowRange full_range() const { return RowRange{0, size()}; }
+
+ private:
+  std::string name_;
+  DataType type_;
+  std::vector<int64_t> i64_;   // int64 / date-days / dictionary codes
+  std::vector<double> f64_;    // float64 values
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int64_t> dict_index_;
+};
+
+using ColumnPtr = std::shared_ptr<Column>;
+
+/// \brief A zero-copy read-only slice of a base column: the unit of
+/// adaptive-parallelization range partitioning (paper Fig 8).
+///
+/// Creating a slice only marks boundary row ids; no data is copied.
+struct ColumnSlice {
+  const Column* column = nullptr;
+  RowRange range;
+
+  uint64_t size() const { return range.size(); }
+  bool Valid() const {
+    return column != nullptr && range.end <= column->size() &&
+           range.begin <= range.end;
+  }
+  /// Splits this slice in two at the midpoint (or a given split row).
+  std::pair<ColumnSlice, ColumnSlice> Split(oid split_at = kInvalidOid) const {
+    oid mid = split_at == kInvalidOid ? range.begin + range.size() / 2 : split_at;
+    if (mid < range.begin) mid = range.begin;
+    if (mid > range.end) mid = range.end;
+    return {ColumnSlice{column, {range.begin, mid}},
+            ColumnSlice{column, {mid, range.end}}};
+  }
+};
+
+}  // namespace apq
+
+#endif  // APQ_STORAGE_COLUMN_H_

@@ -1,0 +1,80 @@
+#include "storage/table.h"
+
+namespace apq {
+
+uint64_t Table::byte_size() const {
+  uint64_t total = 0;
+  for (const auto& [name, col] : columns_) total += col->byte_size();
+  return total;
+}
+
+Status Table::AddColumn(ColumnPtr col) {
+  if (!col) return Status::InvalidArgument("null column");
+  if (has_columns_ && col->size() != row_count_) {
+    return Status::InvalidArgument(
+        "column '" + col->name() + "' has " + std::to_string(col->size()) +
+        " rows, table '" + name_ + "' has " + std::to_string(row_count_));
+  }
+  if (columns_.count(col->name())) {
+    return Status::AlreadyExists("column '" + col->name() + "'");
+  }
+  row_count_ = col->size();
+  has_columns_ = true;
+  order_.push_back(col->name());
+  columns_.emplace(col->name(), std::move(col));
+  return Status::OK();
+}
+
+const Column* Table::GetColumn(const std::string& name) const {
+  auto it = columns_.find(name);
+  return it == columns_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<const Column*> Table::GetColumnChecked(const std::string& name) const {
+  const Column* c = GetColumn(name);
+  if (!c) return Status::NotFound("column '" + name + "' in table '" + name_ + "'");
+  return c;
+}
+
+std::vector<std::string> Table::ColumnNames() const { return order_; }
+
+Status Catalog::AddTable(TablePtr table) {
+  if (!table) return Status::InvalidArgument("null table");
+  if (tables_.count(table->name())) {
+    return Status::AlreadyExists("table '" + table->name() + "'");
+  }
+  tables_.emplace(table->name(), std::move(table));
+  return Status::OK();
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<const Table*> Catalog::GetTableChecked(const std::string& name) const {
+  const Table* t = GetTable(name);
+  if (!t) return Status::NotFound("table '" + name + "'");
+  return t;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  return names;
+}
+
+const Table* Catalog::LargestTable() const {
+  const Table* best = nullptr;
+  uint64_t best_size = 0;
+  for (const auto& [name, t] : tables_) {
+    if (t->byte_size() >= best_size) {
+      best_size = t->byte_size();
+      best = t.get();
+    }
+  }
+  return best;
+}
+
+}  // namespace apq

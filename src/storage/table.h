@@ -1,0 +1,59 @@
+// Tables and the catalog: named collections of equally sized columns.
+#ifndef APQ_STORAGE_TABLE_H_
+#define APQ_STORAGE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "util/status.h"
+
+namespace apq {
+
+/// \brief A base table: a set of columns sharing one row count.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  uint64_t row_count() const { return row_count_; }
+  uint64_t byte_size() const;
+
+  Status AddColumn(ColumnPtr col);
+  const Column* GetColumn(const std::string& name) const;
+  StatusOr<const Column*> GetColumnChecked(const std::string& name) const;
+
+  std::vector<std::string> ColumnNames() const;
+  size_t num_columns() const { return columns_.size(); }
+
+ private:
+  std::string name_;
+  uint64_t row_count_ = 0;
+  bool has_columns_ = false;
+  std::map<std::string, ColumnPtr> columns_;
+  std::vector<std::string> order_;  // insertion order for listing
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+/// \brief Catalog of base tables loaded into the engine.
+class Catalog {
+ public:
+  Status AddTable(TablePtr table);
+  const Table* GetTable(const std::string& name) const;
+  StatusOr<const Table*> GetTableChecked(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// The largest table by byte size: the heuristic parallelizer's partitioning
+  /// target (as in MonetDB's mitosis).
+  const Table* LargestTable() const;
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace apq
+
+#endif  // APQ_STORAGE_TABLE_H_

@@ -1,0 +1,77 @@
+// Fundamental storage types: row ids (oids), data types, row ranges.
+#ifndef APQ_STORAGE_TYPES_H_
+#define APQ_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace apq {
+
+/// Row identifier. Like MonetDB's oid: dense, 0-based position in a base table.
+using oid = uint64_t;
+
+constexpr oid kInvalidOid = ~static_cast<oid>(0);
+
+/// Column value types. Dates are stored as int64 days-since-epoch; strings are
+/// dictionary-encoded (int64 code into the column's dictionary).
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kString = 2,
+  kDate = 3,
+};
+
+inline const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64: return "i64";
+    case DataType::kFloat64: return "f64";
+    case DataType::kString: return "str";
+    case DataType::kDate: return "date";
+  }
+  return "?";
+}
+
+/// Width in bytes of one value of the given type (dictionary codes for str).
+inline size_t DataTypeWidth(DataType t) {
+  switch (t) {
+    case DataType::kFloat64: return 8;
+    default: return 8;
+  }
+}
+
+/// \brief Half-open row-id interval [begin, end) over a base table.
+///
+/// Every intermediate result remembers the base range it was derived from;
+/// this is what makes dynamic-partition boundary alignment (paper Fig 9)
+/// checkable.
+struct RowRange {
+  oid begin = 0;
+  oid end = 0;
+
+  uint64_t size() const { return end - begin; }
+  bool Contains(oid o) const { return o >= begin && o < end; }
+  bool Contains(const RowRange& other) const {
+    return other.begin >= begin && other.end <= end;
+  }
+  bool Overlaps(const RowRange& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  /// Intersection of the two ranges (empty if disjoint).
+  RowRange Intersect(const RowRange& other) const {
+    RowRange r{begin > other.begin ? begin : other.begin,
+               end < other.end ? end : other.end};
+    if (r.begin > r.end) r = {0, 0};
+    return r;
+  }
+  bool operator==(const RowRange& o) const {
+    return begin == o.begin && end == o.end;
+  }
+
+  std::string ToString() const {
+    return "[" + std::to_string(begin) + "," + std::to_string(end) + ")";
+  }
+};
+
+}  // namespace apq
+
+#endif  // APQ_STORAGE_TYPES_H_

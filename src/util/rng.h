@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the library (data generation, simulator noise,
+// scheduling jitter) flows from an explicitly seeded Rng so that experiments
+// are exactly reproducible.
+#ifndef APQ_UTIL_RNG_H_
+#define APQ_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace apq {
+
+/// \brief xoshiro256** seeded via splitmix64; fast and statistically solid.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 to fill the state from a single word.
+    for (auto& w : s_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Zipfian rank in [0, n) with exponent theta (approximate inverse CDF).
+  uint64_t Zipf(uint64_t n, double theta) {
+    // Rejection-free approximation adequate for skewed workload generation.
+    double u = NextDouble();
+    double p = std::pow(u, 1.0 / (1.0 - theta));
+    uint64_t r = static_cast<uint64_t>(p * static_cast<double>(n));
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace apq
+
+#endif  // APQ_UTIL_RNG_H_

@@ -1,0 +1,56 @@
+// Small summary-statistics helpers used by benches and the convergence tests.
+#ifndef APQ_UTIL_STATS_H_
+#define APQ_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace apq {
+
+/// \brief Accumulates a stream of doubles and reports summary statistics.
+class SummaryStats {
+ public:
+  void Add(double v) {
+    values_.push_back(v);
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  size_t count() const { return values_.size(); }
+  double sum() const { return sum_; }
+  double min() const { return values_.empty() ? 0.0 : min_; }
+  double max() const { return values_.empty() ? 0.0 : max_; }
+  double mean() const { return values_.empty() ? 0.0 : sum_ / values_.size(); }
+
+  double stddev() const {
+    if (values_.size() < 2) return 0.0;
+    double m = mean();
+    double acc = 0.0;
+    for (double v : values_) acc += (v - m) * (v - m);
+    return std::sqrt(acc / (values_.size() - 1));
+  }
+
+  /// q in [0,1]; nearest-rank percentile of the observed values.
+  double Percentile(double q) const {
+    if (values_.empty()) return 0.0;
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+  double sum_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+}  // namespace apq
+
+#endif  // APQ_UTIL_STATS_H_

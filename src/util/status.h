@@ -1,0 +1,138 @@
+// Status / StatusOr error model, in the style of Arrow and RocksDB.
+//
+// Library code never throws for recoverable errors; operations that can fail
+// return a Status (or StatusOr<T> when they also produce a value). CHECK-style
+// macros are reserved for programmer errors (invariant violations).
+#ifndef APQ_UTIL_STATUS_H_
+#define APQ_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace apq {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kMisaligned,      // tuple-reconstruction boundary misalignment (Fig 9/10)
+  kUnsupported,
+  kInternal,
+};
+
+/// \brief Lightweight error carrier: a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Misaligned(std::string m) {
+    return Status(StatusCode::kMisaligned, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  static const char* CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kMisaligned: return "Misaligned";
+      case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief A Status or a value of type T; inspect ok() before ValueOrDie().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {}  // NOLINT implicit
+  StatusOr(T v) : value_(std::move(v)) {}        // NOLINT implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& ValueOrDie() {
+    if (!ok()) {
+      std::fprintf(stderr, "StatusOr::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+    return value_;
+  }
+  const T& ValueOrDie() const {
+    return const_cast<StatusOr*>(this)->ValueOrDie();
+  }
+  T&& MoveValueOrDie() { return std::move(ValueOrDie()); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define APQ_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::apq::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#define APQ_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "APQ_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define APQ_CHECK_OK(expr)                                                 \
+  do {                                                                     \
+    ::apq::Status _st = (expr);                                            \
+    if (!_st.ok()) {                                                       \
+      std::fprintf(stderr, "APQ_CHECK_OK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, _st.ToString().c_str());                      \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+}  // namespace apq
+
+#endif  // APQ_UTIL_STATUS_H_

@@ -1,0 +1,66 @@
+// ASCII table printer used by the bench harnesses to emit paper-style tables.
+#ifndef APQ_UTIL_TABLE_PRINTER_H_
+#define APQ_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace apq {
+
+/// \brief Collects rows of string cells and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  static std::string Fmt(double v, int prec = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+  }
+  static std::string Fmt(int64_t v) { return std::to_string(v); }
+
+  void Print(FILE* out = stdout) const {
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+    for (const auto& r : rows_) {
+      for (size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+        if (r[i].size() > widths[i]) widths[i] = r[i].size();
+      }
+    }
+    PrintRule(out, widths);
+    PrintRow(out, header_, widths);
+    PrintRule(out, widths);
+    for (const auto& r : rows_) PrintRow(out, r, widths);
+    PrintRule(out, widths);
+  }
+
+ private:
+  static void PrintRule(FILE* out, const std::vector<size_t>& widths) {
+    std::fputc('+', out);
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) std::fputc('-', out);
+      std::fputc('+', out);
+    }
+    std::fputc('\n', out);
+  }
+  static void PrintRow(FILE* out, const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    std::fputc('|', out);
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      std::fprintf(out, " %-*s |", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::fputc('\n', out);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace apq
+
+#endif  // APQ_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,36 @@
+#include "vwsim/vectorwise_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apq {
+
+int VectorwiseSim::ChooseDop(Engine& engine, const QueryPlan& serial_plan,
+                             int active_clients, bool first_client) const {
+  int cores = engine.config().sim.logical_cores;
+  int granted = cores;
+  if (config_.admission_control && !first_client && active_clients > 1) {
+    granted = std::max(1, cores / active_clients);
+  }
+  // Cost-model DOP: enough partitions that each core gets at least
+  // work_per_core_ns of work, capped by the granted cores.
+  EvalResult er;
+  Status st = engine.evaluator()->Execute(serial_plan, &er);
+  if (!st.ok()) return 1;
+  double total_work = 0;
+  for (const auto& m : er.metrics) total_work += engine.cost_model().Work(m);
+  int by_cost =
+      static_cast<int>(std::floor(total_work / config_.work_per_core_ns));
+  return std::max(1, std::min(granted, by_cost));
+}
+
+StatusOr<QueryRunResult> VectorwiseSim::Run(
+    Engine& engine, const QueryPlan& serial_plan, int active_clients,
+    bool first_client, const std::vector<SimTask>& background,
+    uint64_t seed_salt) const {
+  int dop = ChooseDop(engine, serial_plan, active_clients, first_client);
+  if (dop <= 1) return engine.RunPlan(serial_plan, background, seed_salt);
+  return engine.RunHeuristic(serial_plan, dop, background, seed_salt);
+}
+
+}  // namespace apq

@@ -1,0 +1,52 @@
+// Vectorwise-like comparator (paper §4.2.4).
+//
+// Vectorwise 3.5.1 generated cost-model exchange-operator parallel plans with
+// resource allocation driven by admission control: under a heavy concurrent
+// workload, the first client's query receives all resources while the
+// remaining clients' queries get progressively fewer cores — effectively
+// executing serially. We model exactly that policy on top of the same
+// simulated machine: the DOP of a query is chosen from the cost model's
+// estimate of total work and the cores granted by admission control.
+#ifndef APQ_VWSIM_VECTORWISE_SIM_H_
+#define APQ_VWSIM_VECTORWISE_SIM_H_
+
+#include "engine/engine.h"
+
+namespace apq {
+
+/// \brief Vectorwise-policy configuration.
+struct VectorwiseConfig {
+  /// Target per-core work (ns): the cost model picks DOP ~ total_work / this.
+  /// Sized for the repository's scaled-down datasets (DESIGN.md §2).
+  double work_per_core_ns = 5.0e4;
+  /// Admission control: clients beyond the first get cores/active_clients
+  /// (>=1). The first client gets every core.
+  bool admission_control = true;
+};
+
+/// \brief Runs a query the way Vectorwise would: static cost-model DOP under
+/// admission control.
+class VectorwiseSim {
+ public:
+  explicit VectorwiseSim(VectorwiseConfig config = VectorwiseConfig())
+      : config_(config) {}
+
+  /// Chooses the DOP for a query given its serial profile and the number of
+  /// concurrently active clients. `first_client` marks the privileged stream.
+  int ChooseDop(Engine& engine, const QueryPlan& serial_plan,
+                int active_clients, bool first_client) const;
+
+  /// Executes with the chosen DOP (exchange-operator plan = the static
+  /// parallelizer's plan at that DOP).
+  StatusOr<QueryRunResult> Run(Engine& engine, const QueryPlan& serial_plan,
+                               int active_clients, bool first_client,
+                               const std::vector<SimTask>& background = {},
+                               uint64_t seed_salt = 0) const;
+
+ private:
+  VectorwiseConfig config_;
+};
+
+}  // namespace apq
+
+#endif  // APQ_VWSIM_VECTORWISE_SIM_H_

@@ -1,0 +1,53 @@
+#include "workload/skew.h"
+
+#include "plan/builder.h"
+#include "util/rng.h"
+
+namespace apq {
+
+std::shared_ptr<Catalog> GenerateSkewed(const SkewConfig& config) {
+  auto cat = std::make_shared<Catalog>();
+  Rng rng(config.seed);
+  const uint64_t n = config.rows;
+  const uint64_t half = n / 2;
+  std::vector<int64_t> v(n);
+  // First half: random values well above the cluster constants.
+  for (uint64_t i = 0; i < half; ++i) {
+    v[i] = static_cast<int64_t>(config.clusters) +
+           static_cast<int64_t>(
+               rng.Uniform(static_cast<uint64_t>(config.random_max)));
+  }
+  // Second half: `clusters` sequential runs of identical values 0..c-1
+  // (Fig 13: "5 sequential clusters of 100 million identical tuples").
+  const uint64_t per_cluster = (n - half) / config.clusters;
+  for (uint64_t i = half; i < n; ++i) {
+    int64_t c = static_cast<int64_t>((i - half) / per_cluster);
+    if (c >= config.clusters) c = config.clusters - 1;
+    v[i] = c;
+  }
+  auto t = std::make_shared<Table>("skewed");
+  APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("v", std::move(v))));
+  APQ_CHECK_OK(cat->AddTable(t));
+  return cat;
+}
+
+StatusOr<QueryPlan> SkewedSelectPlan(const Catalog& cat,
+                                     const SkewConfig& config, int pct_skew) {
+  const Table* t = cat.GetTable("skewed");
+  if (!t) return Status::NotFound("table 'skewed'");
+  const Column* v = t->GetColumn("v");
+  // Each cluster holds (rows/2)/clusters rows = 10% of the table for the
+  // default 5 clusters. pct_skew in {10,20,..,50} selects 1..5 clusters.
+  int clusters_hit =
+      std::max(1, std::min(config.clusters,
+                           pct_skew * config.clusters * 2 / 100));
+  PlanBuilder b("skewed_select_" + std::to_string(pct_skew));
+  int sel = b.Select(v, Predicate::RangeI64(0, clusters_hit - 1));
+  // Fetch + sum keeps the output from being dead code and adds the
+  // materialization the paper's select plans have.
+  int fv = b.FetchJoin(v, sel);
+  int sum = b.AggScalar(AggFn::kSum, fv);
+  return b.Result(sum);
+}
+
+}  // namespace apq

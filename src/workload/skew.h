@@ -1,0 +1,37 @@
+// The skewed micro-benchmark column of the paper's Fig 13: first half random,
+// second half five sequential clusters of identical values. Selecting one or
+// more cluster values produces position-clustered matches — the execution-
+// skew stress case for static partitioning (Fig 12).
+#ifndef APQ_WORKLOAD_SKEW_H_
+#define APQ_WORKLOAD_SKEW_H_
+
+#include <memory>
+
+#include "plan/plan.h"
+#include "storage/table.h"
+
+namespace apq {
+
+/// \brief Fig 13 data layout parameters.
+struct SkewConfig {
+  uint64_t rows = 2'000'000;  // paper: 1000M; scaled to laptop budgets
+  int clusters = 5;           // identical-value clusters in the second half
+  int64_t random_max = 1'000'000'000;
+  uint64_t seed = 13;
+};
+
+/// \brief Generates a table "skewed" with one int64 column "v": rows/2 random
+/// values in [clusters, random_max), then `clusters` consecutive runs of the
+/// constant values 0,1,..,clusters-1.
+std::shared_ptr<Catalog> GenerateSkewed(const SkewConfig& config);
+
+/// \brief Select plan whose predicate matches `pct_skew` percent of the table
+/// by covering random-range plus whole clusters:
+/// pct 10 -> ~10% of rows match (one cluster), pct 50 -> all five clusters.
+/// Matches are concentrated in the second half — the paper's "% Skew" axis.
+StatusOr<QueryPlan> SkewedSelectPlan(const Catalog& cat,
+                                     const SkewConfig& config, int pct_skew);
+
+}  // namespace apq
+
+#endif  // APQ_WORKLOAD_SKEW_H_

@@ -1,0 +1,219 @@
+#include "workload/tpcds.h"
+
+#include <cmath>
+
+#include "plan/builder.h"
+#include "util/rng.h"
+
+namespace apq {
+
+namespace {
+
+const char* kCategories[] = {"Books", "Electronics", "Home", "Jewelry",
+                             "Men", "Music", "Shoes", "Sports", "Toys",
+                             "Women"};
+const char* kStates[] = {"CA", "NY", "TX", "WA", "IL", "GA", "FL", "OH"};
+
+const Column* Col(const Catalog& cat, const std::string& table,
+                  const std::string& col) {
+  const Table* t = cat.GetTable(table);
+  APQ_CHECK(t != nullptr);
+  const Column* c = t->GetColumn(col);
+  APQ_CHECK(c != nullptr);
+  return c;
+}
+
+}  // namespace
+
+std::shared_ptr<Catalog> Tpcds::Generate(const TpcdsConfig& config) {
+  auto cat = std::make_shared<Catalog>();
+  Rng rng(config.seed);
+
+  const uint64_t nf = config.store_sales_rows;
+  const uint64_t ni = config.item_rows;
+  const uint64_t nd = config.date_rows;
+  const uint64_t ns = config.store_rows;
+
+  // --- store_sales (fact, skewed) -----------------------------------------
+  // Rows are appended in date order (as real fact tables are), and the last
+  // ~eighth of each year is a seasonal burst: 40% of the year's sales land
+  // there. A date-range selection therefore matches a *contiguous, uneven*
+  // region of the table — static equi-range partitions see very different
+  // match counts (execution skew), while the value distribution of items is
+  // Zipfian (popular products dominate).
+  {
+    auto t = std::make_shared<Table>("store_sales");
+    std::vector<int64_t> date(nf), item(nf), store(nf), qty(nf);
+    std::vector<double> price(nf), ext(nf);
+    const uint64_t years = std::max<uint64_t>(nd / 365, 1);
+    const uint64_t rows_per_year = nf / years;
+    uint64_t row = 0;
+    for (uint64_t y = 0; y < years && row < nf; ++y) {
+      uint64_t year_rows = (y == years - 1) ? nf - row : rows_per_year;
+      uint64_t burst_rows = year_rows / 2;  // 50% in the season burst
+      uint64_t normal_rows = year_rows - burst_rows;
+      for (uint64_t k = 0; k < year_rows && row < nf; ++k, ++row) {
+        int64_t day;
+        if (k < normal_rows) {
+          // Spread over the first ~345 days.
+          day = static_cast<int64_t>(y * 365 +
+                                     (k * 345) / std::max<uint64_t>(normal_rows, 1));
+        } else {
+          // Burst: the last 20 days of the year.
+          day = static_cast<int64_t>(
+              y * 365 + 345 +
+              ((k - normal_rows) * 20) / std::max<uint64_t>(burst_rows, 1));
+        }
+        date[row] = day;
+        item[row] = static_cast<int64_t>(rng.Zipf(ni, config.zipf_theta));
+        store[row] = static_cast<int64_t>(rng.Uniform(ns));
+        qty[row] = rng.UniformRange(1, 100);
+        price[row] = 1.0 + rng.NextDouble() * 299.0;
+        ext[row] = price[row] * static_cast<double>(qty[row]);
+      }
+    }
+    APQ_CHECK_OK(
+        t->AddColumn(Column::MakeInt64("ss_sold_date_sk", std::move(date))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("ss_item_sk", std::move(item))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("ss_store_sk", std::move(store))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("ss_quantity", std::move(qty))));
+    APQ_CHECK_OK(
+        t->AddColumn(Column::MakeFloat64("ss_sales_price", std::move(price))));
+    APQ_CHECK_OK(
+        t->AddColumn(Column::MakeFloat64("ss_ext_sales_price", std::move(ext))));
+    APQ_CHECK_OK(cat->AddTable(t));
+  }
+
+  // --- item -----------------------------------------------------------------
+  {
+    auto t = std::make_shared<Table>("item");
+    std::vector<int64_t> sk(ni), brand(ni);
+    std::vector<std::string> category(ni);
+    for (uint64_t i = 0; i < ni; ++i) {
+      sk[i] = static_cast<int64_t>(i);
+      brand[i] = rng.UniformRange(1, 400);
+      category[i] = kCategories[rng.Uniform(10)];
+    }
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("i_item_sk", std::move(sk))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("i_brand_id", std::move(brand))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeString("i_category", category)));
+    APQ_CHECK_OK(cat->AddTable(t));
+  }
+
+  // --- date_dim --------------------------------------------------------------
+  {
+    auto t = std::make_shared<Table>("date_dim");
+    std::vector<int64_t> sk(nd), year(nd), moy(nd);
+    for (uint64_t i = 0; i < nd; ++i) {
+      sk[i] = static_cast<int64_t>(i);
+      year[i] = 1998 + static_cast<int64_t>(i / 365);
+      moy[i] = 1 + static_cast<int64_t>((i % 365) / 31);
+    }
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("d_date_sk", std::move(sk))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("d_year", std::move(year))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("d_moy", std::move(moy))));
+    APQ_CHECK_OK(cat->AddTable(t));
+  }
+
+  // --- store -----------------------------------------------------------------
+  {
+    auto t = std::make_shared<Table>("store");
+    std::vector<int64_t> sk(ns);
+    std::vector<std::string> state(ns);
+    for (uint64_t i = 0; i < ns; ++i) {
+      sk[i] = static_cast<int64_t>(i);
+      state[i] = kStates[rng.Uniform(8)];
+    }
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("s_store_sk", std::move(sk))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeString("s_state", state)));
+    APQ_CHECK_OK(cat->AddTable(t));
+  }
+
+  return cat;
+}
+
+std::vector<std::string> Tpcds::QueryNames() {
+  return {"DS1", "DS2", "DS3", "DS4", "DS5"};
+}
+
+StatusOr<QueryPlan> Tpcds::Query(const Catalog& cat, const std::string& name) {
+  const uint64_t n_sales = cat.GetTable("store_sales")->row_count();
+  (void)n_sales;
+
+  if (name == "DS1") {
+    // Seasonal revenue per item category: date select hits the burst region.
+    PlanBuilder b("tpcds_ds1");
+    int sel = b.Select(Col(cat, "store_sales", "ss_sold_date_sk"),
+                       Predicate::RangeI64(340, 364));
+    int fitem = b.FetchJoin(Col(cat, "store_sales", "ss_item_sk"), sel);
+    int jn = b.Join(fitem, Col(cat, "item", "i_item_sk"));
+    int fcat = b.FetchJoin(Col(cat, "item", "i_category"), jn, FetchSide::kRight);
+    int fprice = b.FetchJoin(Col(cat, "store_sales", "ss_ext_sales_price"), jn,
+                             FetchSide::kLeft);
+    int gb = b.GroupBy(fcat);
+    int ag = b.AggGrouped(AggFn::kSum, gb, fprice);
+    int srt = b.Sort(ag, true);
+    return b.Result(srt);
+  }
+  if (name == "DS2") {
+    // Bulk purchases: quantity filter + revenue sum (select-dominated).
+    PlanBuilder b("tpcds_ds2");
+    int sel = b.Select(Col(cat, "store_sales", "ss_quantity"),
+                       Predicate::RangeI64(80, 100));
+    int fprice =
+        b.FetchJoin(Col(cat, "store_sales", "ss_ext_sales_price"), sel);
+    int sum = b.AggScalar(AggFn::kSum, fprice);
+    return b.Result(sum);
+  }
+  if (name == "DS3") {
+    // Season-plus-quarter revenue per brand (join-dominated; the window
+    // covers one seasonal burst, so matches stay position-clustered).
+    PlanBuilder b("tpcds_ds3");
+    int sel = b.Select(Col(cat, "store_sales", "ss_sold_date_sk"),
+                       Predicate::RangeI64(345, 475));
+    int fitem = b.FetchJoin(Col(cat, "store_sales", "ss_item_sk"), sel);
+    int jn = b.Join(fitem, Col(cat, "item", "i_item_sk"));
+    int fbrand =
+        b.FetchJoin(Col(cat, "item", "i_brand_id"), jn, FetchSide::kRight);
+    int fprice = b.FetchJoin(Col(cat, "store_sales", "ss_ext_sales_price"), jn,
+                             FetchSide::kLeft);
+    int gb = b.GroupBy(fbrand);
+    int ag = b.AggGrouped(AggFn::kSum, gb, fprice);
+    int srt = b.Sort(ag, true);
+    return b.Result(srt);
+  }
+  if (name == "DS4") {
+    // Seasonal revenue per store.
+    PlanBuilder b("tpcds_ds4");
+    int sel = b.Select(Col(cat, "store_sales", "ss_sold_date_sk"),
+                       Predicate::RangeI64(705, 729));
+    int fstore = b.FetchJoin(Col(cat, "store_sales", "ss_store_sk"), sel);
+    int jn = b.Join(fstore, Col(cat, "store", "s_store_sk"));
+    int fsk2 =
+        b.FetchJoin(Col(cat, "store", "s_store_sk"), jn, FetchSide::kRight);
+    int fprice = b.FetchJoin(Col(cat, "store_sales", "ss_ext_sales_price"), jn,
+                             FetchSide::kLeft);
+    int gb = b.GroupBy(fsk2);
+    int ag = b.AggGrouped(AggFn::kSum, gb, fprice);
+    int srt = b.Sort(ag, true);
+    return b.Result(srt);
+  }
+  if (name == "DS5") {
+    // Hot-item drill-down: the Zipf head makes matches frequent and
+    // position-independent, while quantity restricts them.
+    PlanBuilder b("tpcds_ds5");
+    int sel = b.Select(Col(cat, "store_sales", "ss_item_sk"),
+                       Predicate::RangeI64(0, 15));
+    int sel2 = b.Select(Col(cat, "store_sales", "ss_quantity"),
+                        Predicate::RangeI64(1, 50), sel);
+    int fprice =
+        b.FetchJoin(Col(cat, "store_sales", "ss_ext_sales_price"), sel2);
+    int fqty = b.FetchJoin(Col(cat, "store_sales", "ss_quantity"), sel2);
+    int rev = b.Map2(MapFn::kMul, fprice, fqty, "weighted");
+    int sum = b.AggScalar(AggFn::kSum, rev);
+    return b.Result(sum);
+  }
+  return Status::NotFound("unknown TPC-DS query '" + name + "'");
+}
+
+}  // namespace apq

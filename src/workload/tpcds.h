@@ -1,0 +1,45 @@
+// TPC-DS-shaped workload: a skewed retail-sales schema (store_sales fact with
+// clustered dates and Zipfian items) plus the five join/group-by query shapes
+// used for the paper's Fig 17 comparison.
+//
+// Substitution note (DESIGN.md §2): replaces the TPC-DS SF-100 dataset. The
+// paper attributes the up-to-5x adaptive win to "correct partitioning ... and
+// the skewed data distribution"; the generator concentrates fact rows by
+// position (date-ordered appends with seasonal bursts), which is exactly what
+// static equi-range partitioning mishandles.
+#ifndef APQ_WORKLOAD_TPCDS_H_
+#define APQ_WORKLOAD_TPCDS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace apq {
+
+/// \brief Generator sizing for the TPC-DS-shaped catalog.
+struct TpcdsConfig {
+  uint64_t store_sales_rows = 150'000;
+  uint64_t item_rows = 2'000;
+  uint64_t date_rows = 1'826;  // five years of days
+  uint64_t store_rows = 50;
+  double zipf_theta = 0.7;  // item popularity skew
+  uint64_t seed = 21;
+};
+
+/// \brief TPC-DS data + query factory.
+class Tpcds {
+ public:
+  static std::shared_ptr<Catalog> Generate(const TpcdsConfig& config);
+
+  /// Queries "DS1".."DS5" (Fig 17's 1..5).
+  static StatusOr<QueryPlan> Query(const Catalog& cat, const std::string& name);
+  static std::vector<std::string> QueryNames();
+};
+
+}  // namespace apq
+
+#endif  // APQ_WORKLOAD_TPCDS_H_

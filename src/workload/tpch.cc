@@ -1,0 +1,376 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+
+#include "plan/builder.h"
+#include "util/rng.h"
+
+namespace apq {
+
+namespace {
+
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kTypePrefix[] = {"STANDARD", "SMALL", "MEDIUM",
+                             "LARGE", "ECONOMY", "PROMO"};
+const char* kTypeMid[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                          "BRUSHED"};
+const char* kTypeMetal[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainerSize[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainerKind[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                                "CAN", "DRUM"};
+const char* kModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                        "FOB"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+const Column* Col(const Catalog& cat, const std::string& table,
+                  const std::string& col) {
+  const Table* t = cat.GetTable(table);
+  APQ_CHECK(t != nullptr);
+  const Column* c = t->GetColumn(col);
+  APQ_CHECK(c != nullptr);
+  return c;
+}
+
+}  // namespace
+
+std::shared_ptr<Catalog> Tpch::Generate(const TpchConfig& config) {
+  auto cat = std::make_shared<Catalog>();
+  Rng rng(config.seed);
+
+  const uint64_t nl = config.lineitem_rows;
+  const uint64_t no = config.orders_rows();
+  const uint64_t np = config.part_rows();
+  const uint64_t nc = config.customer_rows();
+  const uint64_t ns = config.supplier_rows();
+  const uint64_t nn = 25;
+
+  // --- lineitem -----------------------------------------------------------
+  {
+    auto t = std::make_shared<Table>("lineitem");
+    std::vector<int64_t> okey(nl), pkey(nl), skey(nl), qty(nl), ship(nl),
+        commit(nl), receipt(nl);
+    std::vector<double> price(nl), disc(nl), tax(nl);
+    std::vector<std::string> rflag(nl), mode(nl), instruct(nl);
+    for (uint64_t i = 0; i < nl; ++i) {
+      okey[i] = static_cast<int64_t>(rng.Uniform(no));
+      pkey[i] = static_cast<int64_t>(rng.Uniform(np));
+      skey[i] = static_cast<int64_t>(rng.Uniform(ns));
+      qty[i] = rng.UniformRange(1, 50);
+      price[i] = 900.0 + rng.NextDouble() * 104100.0;
+      disc[i] = 0.01 * static_cast<double>(rng.Uniform(11));
+      tax[i] = 0.01 * static_cast<double>(rng.Uniform(9));
+      ship[i] = kTpchDate0 + rng.UniformRange(0, kTpchDateSpan - 1);
+      commit[i] = ship[i] + rng.UniformRange(-30, 30);
+      receipt[i] = ship[i] + rng.UniformRange(1, 30);
+      rflag[i] = (ship[i] < kTpchDate0 + 1200) ? (rng.Uniform(2) ? "A" : "R")
+                                               : "N";
+      mode[i] = kModes[rng.Uniform(7)];
+      instruct[i] = rng.Uniform(4) == 0 ? "DELIVER IN PERSON" : "NONE";
+    }
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("l_orderkey", std::move(okey))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("l_partkey", std::move(pkey))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("l_suppkey", std::move(skey))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("l_quantity", std::move(qty))));
+    APQ_CHECK_OK(
+        t->AddColumn(Column::MakeFloat64("l_extendedprice", std::move(price))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeFloat64("l_discount", std::move(disc))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeFloat64("l_tax", std::move(tax))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeDate("l_shipdate", std::move(ship))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeDate("l_commitdate", std::move(commit))));
+    APQ_CHECK_OK(
+        t->AddColumn(Column::MakeDate("l_receiptdate", std::move(receipt))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeString("l_returnflag", rflag)));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeString("l_shipmode", mode)));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeString("l_shipinstruct", instruct)));
+    APQ_CHECK_OK(cat->AddTable(t));
+  }
+
+  // --- orders --------------------------------------------------------------
+  {
+    auto t = std::make_shared<Table>("orders");
+    std::vector<int64_t> okey(no), ckey(no), odate(no);
+    std::vector<double> total(no);
+    std::vector<std::string> prio(no);
+    for (uint64_t i = 0; i < no; ++i) {
+      okey[i] = static_cast<int64_t>(i);
+      ckey[i] = static_cast<int64_t>(rng.Uniform(nc));
+      odate[i] = kTpchDate0 + rng.UniformRange(0, kTpchDateSpan - 120);
+      total[i] = 1000.0 + rng.NextDouble() * 450000.0;
+      prio[i] = kPriorities[rng.Uniform(5)];
+    }
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("o_orderkey", std::move(okey))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("o_custkey", std::move(ckey))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeDate("o_orderdate", std::move(odate))));
+    APQ_CHECK_OK(
+        t->AddColumn(Column::MakeFloat64("o_totalprice", std::move(total))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeString("o_orderpriority", prio)));
+    APQ_CHECK_OK(cat->AddTable(t));
+  }
+
+  // --- part ----------------------------------------------------------------
+  {
+    auto t = std::make_shared<Table>("part");
+    std::vector<int64_t> pk(np), size(np);
+    std::vector<double> retail(np);
+    std::vector<std::string> type(np), brand(np), container(np);
+    for (uint64_t i = 0; i < np; ++i) {
+      pk[i] = static_cast<int64_t>(i);
+      size[i] = rng.UniformRange(1, 50);
+      retail[i] = 900.0 + static_cast<double>(i % 1000);
+      type[i] = std::string(kTypePrefix[rng.Uniform(6)]) + " " +
+                kTypeMid[rng.Uniform(5)] + " " + kTypeMetal[rng.Uniform(5)];
+      brand[i] = "Brand#" + std::to_string(rng.UniformRange(11, 55));
+      container[i] = std::string(kContainerSize[rng.Uniform(5)]) + " " +
+                     kContainerKind[rng.Uniform(8)];
+    }
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("p_partkey", std::move(pk))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("p_size", std::move(size))));
+    APQ_CHECK_OK(
+        t->AddColumn(Column::MakeFloat64("p_retailprice", std::move(retail))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeString("p_type", type)));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeString("p_brand", brand)));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeString("p_container", container)));
+    APQ_CHECK_OK(cat->AddTable(t));
+  }
+
+  // --- customer -------------------------------------------------------------
+  {
+    auto t = std::make_shared<Table>("customer");
+    std::vector<int64_t> ck(nc), nk(nc);
+    std::vector<double> bal(nc);
+    std::vector<std::string> phone(nc), seg(nc);
+    for (uint64_t i = 0; i < nc; ++i) {
+      ck[i] = static_cast<int64_t>(i);
+      nk[i] = static_cast<int64_t>(rng.Uniform(nn));
+      bal[i] = -999.0 + rng.NextDouble() * 10998.0;
+      phone[i] = std::to_string(10 + nk[i]) + "-" +
+                 std::to_string(100 + rng.Uniform(900));
+      seg[i] = kSegments[rng.Uniform(5)];
+    }
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("c_custkey", std::move(ck))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("c_nationkey", std::move(nk))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeFloat64("c_acctbal", std::move(bal))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeString("c_phone", phone)));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeString("c_mktsegment", seg)));
+    APQ_CHECK_OK(cat->AddTable(t));
+  }
+
+  // --- supplier --------------------------------------------------------------
+  {
+    auto t = std::make_shared<Table>("supplier");
+    std::vector<int64_t> sk(ns), nk(ns);
+    for (uint64_t i = 0; i < ns; ++i) {
+      sk[i] = static_cast<int64_t>(i);
+      nk[i] = static_cast<int64_t>(rng.Uniform(nn));
+    }
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("s_suppkey", std::move(sk))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("s_nationkey", std::move(nk))));
+    APQ_CHECK_OK(cat->AddTable(t));
+  }
+
+  // --- nation ----------------------------------------------------------------
+  {
+    auto t = std::make_shared<Table>("nation");
+    std::vector<int64_t> nk(nn), rk(nn);
+    std::vector<std::string> name(nn);
+    for (uint64_t i = 0; i < nn; ++i) {
+      nk[i] = static_cast<int64_t>(i);
+      rk[i] = static_cast<int64_t>(i % 5);
+      name[i] = kNations[i];
+    }
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("n_nationkey", std::move(nk))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeInt64("n_regionkey", std::move(rk))));
+    APQ_CHECK_OK(t->AddColumn(Column::MakeString("n_name", name)));
+    APQ_CHECK_OK(cat->AddTable(t));
+  }
+
+  return cat;
+}
+
+std::vector<std::string> Tpch::QueryNames() {
+  return {"Q4", "Q6", "Q8", "Q9", "Q14", "Q19", "Q22"};
+}
+
+StatusOr<QueryPlan> Tpch::Query(const Catalog& cat, const std::string& name) {
+  if (name == "Q4") return Q4(cat);
+  if (name == "Q6") return Q6(cat);
+  if (name == "Q8") return Q8(cat);
+  if (name == "Q9") return Q9(cat);
+  if (name == "Q14") return Q14(cat);
+  if (name == "Q19") return Q19(cat);
+  if (name == "Q22") return Q22(cat);
+  return Status::NotFound("unknown TPC-H query '" + name + "'");
+}
+
+StatusOr<QueryPlan> Tpch::Q4(const Catalog& cat) {
+  // Orders placed in one quarter, counted per priority (single-attribute
+  // group-by form of the order-priority checking query).
+  PlanBuilder b("tpch_q4");
+  int sel = b.Select(Col(cat, "orders", "o_orderdate"),
+                     Predicate::RangeI64(kTpchDate0 + 730, kTpchDate0 + 819));
+  int prio = b.FetchJoin(Col(cat, "orders", "o_orderpriority"), sel);
+  int gb = b.GroupBy(prio);
+  int cnt = b.AggGrouped(AggFn::kCount, gb);
+  int srt = b.Sort(cnt);
+  return b.Result(srt);
+}
+
+StatusOr<QueryPlan> Tpch::Q6(const Catalog& cat) {
+  PlanBuilder b("tpch_q6");
+  int sel1 = b.Select(Col(cat, "lineitem", "l_shipdate"),
+                      Predicate::RangeI64(kTpchDate0 + 365, kTpchDate0 + 729));
+  int sel2 = b.Select(Col(cat, "lineitem", "l_discount"),
+                      Predicate::RangeF64(0.05, 0.07), sel1);
+  int sel3 = b.Select(Col(cat, "lineitem", "l_quantity"),
+                      Predicate::RangeI64(1, 23), sel2);
+  int fp = b.FetchJoin(Col(cat, "lineitem", "l_extendedprice"), sel3);
+  int fd = b.FetchJoin(Col(cat, "lineitem", "l_discount"), sel3);
+  int rev = b.Map2(MapFn::kMul, fp, fd, "revenue");
+  int sum = b.AggScalar(AggFn::kSum, rev);
+  return b.Result(sum);
+}
+
+StatusOr<QueryPlan> Tpch::Q6Selectivity(const Catalog& cat,
+                                        double match_fraction) {
+  // One range predicate on l_shipdate tuned to match the requested fraction
+  // (dates are uniform over the window).
+  PlanBuilder b("tpch_q6_sel");
+  int64_t hi =
+      kTpchDate0 + static_cast<int64_t>(match_fraction * kTpchDateSpan);
+  int sel = b.Select(Col(cat, "lineitem", "l_shipdate"),
+                     Predicate::RangeI64(kTpchDate0, hi - 1));
+  int fp = b.FetchJoin(Col(cat, "lineitem", "l_extendedprice"), sel);
+  int fd = b.FetchJoin(Col(cat, "lineitem", "l_discount"), sel);
+  int rev = b.Map2(MapFn::kMul, fp, fd, "revenue");
+  int sum = b.AggScalar(AggFn::kSum, rev);
+  return b.Result(sum);
+}
+
+StatusOr<QueryPlan> Tpch::Q8(const Catalog& cat) {
+  // National market share: revenue per supplier nation for one part type.
+  PlanBuilder b("tpch_q8");
+  int jn = b.JoinLeaf(Col(cat, "lineitem", "l_partkey"),
+                      Col(cat, "part", "p_partkey"));
+  int ftype = b.FetchJoin(Col(cat, "part", "p_type"), jn, FetchSide::kRight);
+  int tflag = b.LikeFlag(ftype, "ECONOMY ANODIZED STEEL");
+  int fp = b.FetchJoin(Col(cat, "lineitem", "l_extendedprice"), jn,
+                       FetchSide::kLeft);
+  int fd =
+      b.FetchJoin(Col(cat, "lineitem", "l_discount"), jn, FetchSide::kLeft);
+  int om = b.MapConst(MapFn::kRSub, fd, 1.0, "1-disc");
+  int rev = b.Map2(MapFn::kMul, fp, om, "revenue");
+  int frev = b.Map2(MapFn::kMul, rev, tflag, "flagged_rev");
+  int fsk =
+      b.FetchJoin(Col(cat, "lineitem", "l_suppkey"), jn, FetchSide::kLeft);
+  int jn2 = b.Join(fsk, Col(cat, "supplier", "s_suppkey"));
+  int fnat =
+      b.FetchJoin(Col(cat, "supplier", "s_nationkey"), jn2, FetchSide::kRight);
+  int gb = b.GroupBy(fnat);
+  int ag = b.AggGrouped(AggFn::kSum, gb, frev);
+  int srt = b.Sort(ag, /*descending=*/true);
+  return b.Result(srt);
+}
+
+StatusOr<QueryPlan> Tpch::Q9(const Catalog& cat) {
+  // Product-type profit per supplier nation.
+  PlanBuilder b("tpch_q9");
+  int jn = b.JoinLeaf(Col(cat, "lineitem", "l_partkey"),
+                      Col(cat, "part", "p_partkey"));
+  int ftype = b.FetchJoin(Col(cat, "part", "p_type"), jn, FetchSide::kRight);
+  int tflag = b.LikeFlag(ftype, "BRASS");
+  int fp = b.FetchJoin(Col(cat, "lineitem", "l_extendedprice"), jn,
+                       FetchSide::kLeft);
+  int fd =
+      b.FetchJoin(Col(cat, "lineitem", "l_discount"), jn, FetchSide::kLeft);
+  int om = b.MapConst(MapFn::kRSub, fd, 1.0, "1-disc");
+  int rev = b.Map2(MapFn::kMul, fp, om, "revenue");
+  int fq =
+      b.FetchJoin(Col(cat, "lineitem", "l_quantity"), jn, FetchSide::kLeft);
+  int cost = b.MapConst(MapFn::kMul, fq, 1.2, "supplycost");
+  int profit = b.Map2(MapFn::kSub, rev, cost, "profit");
+  int fprofit = b.Map2(MapFn::kMul, profit, tflag, "flagged_profit");
+  int fsk =
+      b.FetchJoin(Col(cat, "lineitem", "l_suppkey"), jn, FetchSide::kLeft);
+  int jn2 = b.Join(fsk, Col(cat, "supplier", "s_suppkey"));
+  int fnat =
+      b.FetchJoin(Col(cat, "supplier", "s_nationkey"), jn2, FetchSide::kRight);
+  int gb = b.GroupBy(fnat);
+  int ag = b.AggGrouped(AggFn::kSum, gb, fprofit);
+  int srt = b.Sort(ag, /*descending=*/true);
+  return b.Result(srt);
+}
+
+StatusOr<QueryPlan> Tpch::Q14(const Catalog& cat) {
+  // Promotion effect: promo revenue fraction for one shipment month.
+  PlanBuilder b("tpch_q14");
+  int sel = b.Select(Col(cat, "lineitem", "l_shipdate"),
+                     Predicate::RangeI64(kTpchDate0 + 1000, kTpchDate0 + 1029));
+  int fpk = b.FetchJoin(Col(cat, "lineitem", "l_partkey"), sel);
+  int jn = b.Join(fpk, Col(cat, "part", "p_partkey"));
+  int ftype = b.FetchJoin(Col(cat, "part", "p_type"), jn, FetchSide::kRight);
+  int flag = b.LikeFlag(ftype, "PROMO");
+  int fp = b.FetchJoin(Col(cat, "lineitem", "l_extendedprice"), jn,
+                       FetchSide::kLeft);
+  int fd =
+      b.FetchJoin(Col(cat, "lineitem", "l_discount"), jn, FetchSide::kLeft);
+  int om = b.MapConst(MapFn::kRSub, fd, 1.0, "1-disc");
+  int rev = b.Map2(MapFn::kMul, fp, om, "revenue");
+  int promo = b.Map2(MapFn::kMul, rev, flag, "promo_rev");
+  int s1 = b.AggScalar(AggFn::kSum, promo);
+  int s2 = b.AggScalar(AggFn::kSum, rev);
+  int ratio = b.Map2(MapFn::kDiv, s1, s2, "promo_fraction");
+  return b.Result(ratio);
+}
+
+StatusOr<QueryPlan> Tpch::Q19(const Catalog& cat) {
+  // Discounted revenue for brand/container/quantity conditions.
+  PlanBuilder b("tpch_q19");
+  int jn = b.JoinLeaf(Col(cat, "lineitem", "l_partkey"),
+                      Col(cat, "part", "p_partkey"));
+  int fbrand = b.FetchJoin(Col(cat, "part", "p_brand"), jn, FetchSide::kRight);
+  int bflag = b.LikeFlag(fbrand, "Brand#12");
+  int fcont =
+      b.FetchJoin(Col(cat, "part", "p_container"), jn, FetchSide::kRight);
+  int cflag = b.LikeFlag(fcont, "SM");
+  int fq =
+      b.FetchJoin(Col(cat, "lineitem", "l_quantity"), jn, FetchSide::kLeft);
+  int qflag = b.RangeFlag(fq, 1, 11);
+  int fp = b.FetchJoin(Col(cat, "lineitem", "l_extendedprice"), jn,
+                       FetchSide::kLeft);
+  int fd =
+      b.FetchJoin(Col(cat, "lineitem", "l_discount"), jn, FetchSide::kLeft);
+  int om = b.MapConst(MapFn::kRSub, fd, 1.0, "1-disc");
+  int rev = b.Map2(MapFn::kMul, fp, om, "revenue");
+  int f1 = b.Map2(MapFn::kMul, bflag, cflag);
+  int f2 = b.Map2(MapFn::kMul, f1, qflag);
+  int val = b.Map2(MapFn::kMul, rev, f2, "qualified_rev");
+  int sum = b.AggScalar(AggFn::kSum, val);
+  return b.Result(sum);
+}
+
+StatusOr<QueryPlan> Tpch::Q22(const Catalog& cat) {
+  // Positive-balance customers aggregated per nation (global sales
+  // opportunity, single-attribute group-by form).
+  PlanBuilder b("tpch_q22");
+  int sel = b.Select(Col(cat, "customer", "c_acctbal"),
+                     Predicate::RangeF64(0.0, 1e9));
+  int fnk = b.FetchJoin(Col(cat, "customer", "c_nationkey"), sel);
+  int jn = b.Join(fnk, Col(cat, "nation", "n_nationkey"));
+  int fbal =
+      b.FetchJoin(Col(cat, "customer", "c_acctbal"), jn, FetchSide::kLeft);
+  int fnat =
+      b.FetchJoin(Col(cat, "nation", "n_nationkey"), jn, FetchSide::kRight);
+  int gb = b.GroupBy(fnat);
+  int ag = b.AggGrouped(AggFn::kSum, gb, fbal);
+  int srt = b.Sort(ag, /*descending=*/true);
+  return b.Result(srt);
+}
+
+}  // namespace apq

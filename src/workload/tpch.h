@@ -1,0 +1,73 @@
+// TPC-H-shaped workload: a from-scratch data generator with the benchmark's
+// schema, key relationships and uniform distributions, plus the paper's query
+// subset (Table 4: simple Q6/Q14; complex Q4/Q8/Q9/Q19/Q22), expressed as
+// single-attribute group-by plans as the paper's prototype required.
+//
+// Substitution note (DESIGN.md §2): this replaces dbgen. TPC-H data is
+// uniform; the experiments depend on plan shape and uniformity, not on the
+// authors' absolute scale factors.
+#ifndef APQ_WORKLOAD_TPCH_H_
+#define APQ_WORKLOAD_TPCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace apq {
+
+/// \brief Generator sizing. Row counts of the dimension tables derive from
+/// lineitem_rows with TPC-H-like ratios.
+struct TpchConfig {
+  uint64_t lineitem_rows = 120'000;
+  uint64_t seed = 7;
+
+  uint64_t orders_rows() const { return std::max<uint64_t>(lineitem_rows / 4, 64); }
+  uint64_t part_rows() const { return std::max<uint64_t>(lineitem_rows / 30, 64); }
+  uint64_t customer_rows() const {
+    return std::max<uint64_t>(orders_rows() / 10, 32);
+  }
+  uint64_t supplier_rows() const {
+    return std::max<uint64_t>(part_rows() / 40, 16);
+  }
+};
+
+/// Day numbers bounding the generated shipdates (days since 1970-01-01,
+/// TPC-H's 1992-01-01 .. 1998-12-31 window).
+constexpr int64_t kTpchDate0 = 8035;
+constexpr int64_t kTpchDateSpan = 2556;
+
+/// \brief TPC-H data + query-plan factory.
+class Tpch {
+ public:
+  /// Generates the catalog: lineitem, orders, part, customer, supplier,
+  /// nation. Foreign keys are dense row indices with full integrity (every
+  /// fk matches exactly one dimension row).
+  static std::shared_ptr<Catalog> Generate(const TpchConfig& config);
+
+  /// The paper's evaluation queries, by name: "Q4","Q6","Q8","Q9","Q14",
+  /// "Q19","Q22".
+  static StatusOr<QueryPlan> Query(const Catalog& cat, const std::string& name);
+  static std::vector<std::string> QueryNames();
+
+  // Individual builders (serial plans).
+  static StatusOr<QueryPlan> Q4(const Catalog& cat);
+  static StatusOr<QueryPlan> Q6(const Catalog& cat);
+  /// Q6 with explicit predicate control, used by the Fig 14 / Table 2 select
+  /// experiments. `match_fraction` = fraction of lineitem producing output
+  /// (the paper's "0% selectivity" = all output corresponds to 1.0 here).
+  static StatusOr<QueryPlan> Q6Selectivity(const Catalog& cat,
+                                           double match_fraction);
+  static StatusOr<QueryPlan> Q8(const Catalog& cat);
+  static StatusOr<QueryPlan> Q9(const Catalog& cat);
+  static StatusOr<QueryPlan> Q14(const Catalog& cat);
+  static StatusOr<QueryPlan> Q19(const Catalog& cat);
+  static StatusOr<QueryPlan> Q22(const Catalog& cat);
+};
+
+}  // namespace apq
+
+#endif  // APQ_WORKLOAD_TPCH_H_

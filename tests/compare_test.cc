@@ -1,0 +1,170 @@
+// Tests for the intermediate comparison helper and remaining util pieces
+// (hash index, rng determinism, table printer, summary stats).
+#include <gtest/gtest.h>
+
+#include "exec/compare.h"
+#include "exec/hash_index.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace apq {
+namespace {
+
+Intermediate RowIds(std::vector<oid> ids) {
+  Intermediate r;
+  r.kind = Intermediate::Kind::kRowIds;
+  r.rowids = std::move(ids);
+  return r;
+}
+
+Intermediate Scalar(double v, int64_t count = 1) {
+  Intermediate r;
+  r.kind = Intermediate::Kind::kScalar;
+  r.scalar = v;
+  r.scalar_count = count;
+  return r;
+}
+
+Intermediate Grouped(std::vector<int64_t> keys, std::vector<double> vals) {
+  Intermediate r;
+  r.kind = Intermediate::Kind::kGroupedAgg;
+  r.group_keys.type = DataType::kInt64;
+  r.group_keys.i64 = std::move(keys);
+  r.agg_vals = std::move(vals);
+  r.agg_counts.assign(r.agg_vals.size(), 1);
+  return r;
+}
+
+TEST(CompareTest, EqualRowIds) {
+  EXPECT_TRUE(IntermediatesEqual(RowIds({1, 2, 3}), RowIds({1, 2, 3})));
+}
+
+TEST(CompareTest, RowIdCountMismatch) {
+  std::string d = DiffIntermediates(RowIds({1, 2}), RowIds({1, 2, 3}));
+  EXPECT_NE(d.find("count mismatch"), std::string::npos);
+}
+
+TEST(CompareTest, RowIdOrderMatters) {
+  EXPECT_FALSE(IntermediatesEqual(RowIds({1, 2, 3}), RowIds({1, 3, 2})));
+}
+
+TEST(CompareTest, ScalarTolerance) {
+  EXPECT_TRUE(IntermediatesEqual(Scalar(100.0), Scalar(100.0 + 1e-8), 1e-9));
+  EXPECT_FALSE(IntermediatesEqual(Scalar(100.0), Scalar(101.0), 1e-9));
+}
+
+TEST(CompareTest, ScalarVsSingleGroupInterchangeable) {
+  // A packed scalar partial becomes a single-group grouped aggregate.
+  EXPECT_TRUE(IntermediatesEqual(Scalar(42.0), Grouped({0}, {42.0})));
+  EXPECT_FALSE(IntermediatesEqual(Scalar(42.0), Grouped({0}, {43.0})));
+}
+
+TEST(CompareTest, GroupedAggOrderInsensitive) {
+  EXPECT_TRUE(IntermediatesEqual(Grouped({1, 2, 3}, {10, 20, 30}),
+                                 Grouped({3, 1, 2}, {30, 10, 20})));
+}
+
+TEST(CompareTest, GroupedAggMissingKey) {
+  std::string d = DiffIntermediates(Grouped({1, 2}, {10, 20}),
+                                    Grouped({1, 3}, {10, 20}));
+  EXPECT_NE(d.find("missing"), std::string::npos);
+}
+
+TEST(CompareTest, KindMismatchReported) {
+  std::string d = DiffIntermediates(RowIds({1}), Grouped({1, 2}, {1, 2}));
+  EXPECT_NE(d.find("kind mismatch"), std::string::npos);
+}
+
+TEST(HashIndexTest, ProbeFindsAllDuplicates) {
+  auto col = Column::MakeInt64("c", {5, 7, 5, 9, 5});
+  auto idx = HashIndex::Build(*col, col->full_range());
+  std::vector<oid> hits;
+  idx->Probe(5, &hits);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<oid>{0, 2, 4}));
+  EXPECT_EQ(idx->ProbeFirst(9), 3u);
+  EXPECT_EQ(idx->ProbeFirst(123), kInvalidOid);
+  EXPECT_EQ(idx->num_keys(), 5u);
+}
+
+TEST(HashIndexTest, RangeRestrictedBuild) {
+  auto col = Column::MakeInt64("c", {5, 7, 5, 9, 5});
+  auto idx = HashIndex::Build(*col, RowRange{1, 4});  // rows 1..3
+  std::vector<oid> hits;
+  idx->Probe(5, &hits);
+  EXPECT_EQ(hits, (std::vector<oid>{2}));  // only row 2 is in range
+  EXPECT_EQ(idx->num_keys(), 3u);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(7);
+  for (int i = 0; i < 100; ++i) differs |= (a2.Next() != c.Next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng r(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    int64_t v = r.UniformRange(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardHead) {
+  Rng r(11);
+  uint64_t head = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (r.Zipf(1000, 0.7) < 100) ++head;
+  }
+  // Head decile should hold far more than 10% of the mass.
+  EXPECT_GT(head, static_cast<uint64_t>(n) / 5);
+}
+
+TEST(RngTest, GaussianRoughlyStandard) {
+  Rng r(5);
+  SummaryStats s;
+  for (int i = 0; i < 20'000; ++i) s.Add(r.NextGaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(SummaryStatsTest, Moments) {
+  SummaryStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 3.0);  // nearest rank
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 4.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long header"});
+  t.AddRow({"xxxxxx", "1"});
+  // Smoke: printing to a memstream-like file is awkward portably; validate
+  // the formatting helpers instead.
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(static_cast<int64_t>(42)), "42");
+  t.Print(stderr);  // must not crash with ragged rows
+  TablePrinter ragged({"a", "b", "c"});
+  ragged.AddRow({"only-one"});
+  ragged.Print(stderr);
+}
+
+}  // namespace
+}  // namespace apq

@@ -1,0 +1,177 @@
+// Tests for the convergence algorithm (paper §3): GME selection, credit/debit
+// dynamics, leaking debit, peak grace, and the §3.3 scenarios.
+#include <gtest/gtest.h>
+
+#include "adaptive/convergence.h"
+
+namespace apq {
+namespace {
+
+ConvergenceParams SmallMachine() {
+  ConvergenceParams p;
+  p.cores = 8;
+  return p;
+}
+
+TEST(ConvergenceTest, SerialRunAlwaysAllowsContinuation) {
+  ConvergenceController c(SmallMachine());
+  EXPECT_TRUE(c.Observe(100.0));
+  EXPECT_EQ(c.runs_observed(), 1);
+  EXPECT_DOUBLE_EQ(c.serial_time(), 100.0);
+}
+
+TEST(ConvergenceTest, GmeInitializedAtFirstParallelRun) {
+  ConvergenceController c(SmallMachine());
+  c.Observe(100.0);
+  c.Observe(60.0);
+  EXPECT_DOUBLE_EQ(c.gme(), 60.0);
+  EXPECT_EQ(c.gme_run(), 1);
+}
+
+TEST(ConvergenceTest, GmeUpdatesOnlyBeyondThreshold) {
+  ConvergenceController c(SmallMachine());
+  c.Observe(100.0);
+  c.Observe(60.0);   // GME=60, improvement 40%
+  c.Observe(58.0);   // improvement 42%: below the 5% gap, discarded
+  EXPECT_DOUBLE_EQ(c.gme(), 60.0);
+  EXPECT_EQ(c.gme_run(), 1);
+  c.Observe(30.0);   // improvement 70%: beats 40% by 30 points
+  EXPECT_DOUBLE_EQ(c.gme(), 30.0);
+  EXPECT_EQ(c.gme_run(), 3);
+  // The raw minimum tracks the sub-threshold dip separately.
+  EXPECT_EQ(c.raw_min_run(), 3);
+}
+
+TEST(ConvergenceTest, GmeNeverMovesToAWorseRun) {
+  ConvergenceController c(SmallMachine());
+  c.Observe(100.0);
+  c.Observe(20.0);   // 80% improvement
+  c.Observe(95.0);   // worse, but |serial-cur|/serial has no sign
+  EXPECT_DOUBLE_EQ(c.gme(), 20.0);
+}
+
+TEST(ConvergenceTest, CreditGrowsWithPositiveRoi) {
+  ConvergenceController c(SmallMachine());
+  c.Observe(100.0);
+  c.Observe(50.0);  // ROI = 0.5 -> credit += 4
+  EXPECT_NEAR(c.credit(), 1.0 + 0.5 * 8, 1e-9);
+  EXPECT_DOUBLE_EQ(c.debit(), 0.0);
+}
+
+TEST(ConvergenceTest, DebitGrowsWithNegativeRoi) {
+  ConvergenceParams p = SmallMachine();
+  p.peak_grace = false;
+  ConvergenceController c(p);
+  c.Observe(100.0);
+  c.Observe(50.0);   // credit 5
+  c.Observe(75.0);   // ROI = -25/75 -> debit += 8/3
+  EXPECT_NEAR(c.debit(), 8.0 / 3.0, 1e-9);
+}
+
+TEST(ConvergenceTest, FirstRunCreditBoundedByCoresPlusOne) {
+  // Paper §3.3.1: the upper limit of the first run's credit is cores + 1.
+  ConvergenceController c(SmallMachine());
+  c.Observe(1000.0);
+  c.Observe(1e-9);  // ROI -> ~1
+  EXPECT_LE(c.credit(), 8 + 1 + 1e-6);
+}
+
+TEST(ConvergenceTest, StableSystemConvergesViaLeakingDebit) {
+  // Constant times after an initial improvement: without the leak this would
+  // never converge (§3.3.2); with it, convergence happens within the paper's
+  // upper bound.
+  ConvergenceParams p = SmallMachine();
+  ConvergenceController c(p);
+  bool cont = c.Observe(100.0);
+  int runs = 1;
+  double t = 50.0;
+  while (cont && runs < 1000) {
+    cont = c.Observe(t);
+    ++runs;
+  }
+  EXPECT_LT(runs, 1000);
+  EXPECT_LE(runs, c.UpperBound() + 2);
+  EXPECT_GT(c.leaking_debit_value(), 0.0);
+}
+
+TEST(ConvergenceTest, WithoutLeakingDebitStableSystemDoesNotConverge) {
+  ConvergenceParams p = SmallMachine();
+  p.leaking_debit = false;
+  p.max_runs = 200;
+  ConvergenceController c(p);
+  bool cont = c.Observe(100.0);
+  int runs = 1;
+  double t = 50.0;
+  while (cont && runs < 500) {
+    cont = c.Observe(t);  // perfectly stable: ROI = 0 forever
+    ++runs;
+  }
+  // Only the hard max_runs cap stops it.
+  EXPECT_GE(runs, p.max_runs);
+}
+
+TEST(ConvergenceTest, LowerBoundRunsRespected) {
+  // The algorithm must not converge before cores+1 runs when parallelism
+  // keeps improving the time (paper §3.3.4 lower bound).
+  ConvergenceParams p = SmallMachine();
+  ConvergenceController c(p);
+  double t = 1000.0;
+  bool cont = c.Observe(t);
+  int runs = 1;
+  while (cont && runs < 100) {
+    t *= 0.8;  // steady improvement
+    cont = c.Observe(t);
+    ++runs;
+  }
+  EXPECT_GE(runs, c.LowerBound());
+}
+
+TEST(ConvergenceTest, PeakGraceAllowsRecoveryFromNoiseSpike) {
+  ConvergenceParams p = SmallMachine();
+  ConvergenceController c(p);
+  c.Observe(100.0);
+  c.Observe(40.0);
+  // A rare OS-interference peak above the serial time: the debit would
+  // exhaust the balance, but the grace run lets the descent compensate.
+  bool cont_at_peak = c.Observe(900.0);
+  EXPECT_TRUE(cont_at_peak);
+  EXPECT_TRUE(c.Observe(40.0));  // descent restores the credit
+}
+
+TEST(ConvergenceTest, WithoutPeakGraceSpikeCanHalt) {
+  ConvergenceParams p = SmallMachine();
+  p.peak_grace = false;
+  ConvergenceController c(p);
+  c.Observe(100.0);
+  c.Observe(40.0);  // credit = 1 + 0.6*8 = 5.8
+  // Peak with ROI close to -1 debits ~8 > balance.
+  EXPECT_FALSE(c.Observe(4000.0));
+}
+
+TEST(ConvergenceTest, MaxRunsHardCap) {
+  ConvergenceParams p = SmallMachine();
+  p.max_runs = 10;
+  p.leaking_debit = false;
+  ConvergenceController c(p);
+  double t = 1000.0;
+  bool cont = c.Observe(t);
+  int runs = 1;
+  while (cont) {
+    t *= 0.9;
+    cont = c.Observe(t);
+    ++runs;
+  }
+  EXPECT_EQ(runs, 10);
+}
+
+TEST(ConvergenceTest, BoundsFormulae) {
+  ConvergenceParams p;
+  p.cores = 32;
+  p.extra_runs = 8;
+  ConvergenceController c(p);
+  EXPECT_EQ(c.LowerBound(), 33);
+  EXPECT_EQ(c.UpperBound(), 33 + 8 * 32);
+}
+
+}  // namespace
+}  // namespace apq

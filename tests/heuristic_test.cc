@@ -1,0 +1,101 @@
+// Tests for the static heuristic parallelizer: plan shape at a given DOP and
+// result preservation across all TPC-H queries.
+#include <gtest/gtest.h>
+
+#include "exec/compare.h"
+#include "exec/evaluator.h"
+#include "heuristic/parallelizer.h"
+#include "plan/builder.h"
+#include "workload/tpch.h"
+
+namespace apq {
+namespace {
+
+class HeuristicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchConfig cfg;
+    cfg.lineitem_rows = 20'000;
+    cat_ = Tpch::Generate(cfg);
+  }
+
+  Intermediate Eval(const QueryPlan& plan) {
+    EvalResult er;
+    Status st = eval_.Execute(plan, &er);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return er.result;
+  }
+
+  std::shared_ptr<Catalog> cat_;
+  Evaluator eval_;
+};
+
+TEST_F(HeuristicTest, DopOneReturnsSerialPlan) {
+  auto q6 = Tpch::Q6(*cat_);
+  ASSERT_TRUE(q6.ok());
+  HeuristicParallelizer hp(HeuristicConfig{.dop = 1});
+  auto plan = hp.Parallelize(q6.ValueOrDie());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.ValueOrDie().Stats().num_selects,
+            q6.ValueOrDie().Stats().num_selects);
+}
+
+TEST_F(HeuristicTest, SplitsLeavesToConfiguredDop) {
+  auto q6 = Tpch::Q6(*cat_);
+  ASSERT_TRUE(q6.ok());
+  HeuristicParallelizer hp(HeuristicConfig{.dop = 8});
+  auto plan = hp.Parallelize(q6.ValueOrDie());
+  ASSERT_TRUE(plan.ok());
+  PlanStats s = plan.ValueOrDie().Stats();
+  // Q6 has 3 selects (1 leaf + 2 candidate) and 2 fetchjoins; the leaf is
+  // split 8 ways and everything downstream is cloned per partition.
+  EXPECT_EQ(s.num_selects, 3 * 8);
+  EXPECT_EQ(s.num_fetchjoins, 2 * 8);
+  EXPECT_GE(s.num_unions, 1);
+}
+
+TEST_F(HeuristicTest, UnionsArePushedAboveMaps) {
+  auto q6 = Tpch::Q6(*cat_);
+  ASSERT_TRUE(q6.ok());
+  HeuristicParallelizer hp(HeuristicConfig{.dop = 4});
+  auto plan_or = hp.Parallelize(q6.ValueOrDie());
+  ASSERT_TRUE(plan_or.ok());
+  const QueryPlan& plan = plan_or.ValueOrDie();
+  // The revenue map must be cloned per partition (4 maps), not run once over
+  // a packed union.
+  EXPECT_EQ(plan.Stats().num_maps, 4);
+}
+
+TEST_F(HeuristicTest, AllTpchQueriesPreserveResultsUnderHp) {
+  for (const auto& name : Tpch::QueryNames()) {
+    auto serial = Tpch::Query(*cat_, name);
+    ASSERT_TRUE(serial.ok()) << name;
+    Intermediate expect = Eval(serial.ValueOrDie());
+    for (int dop : {2, 8}) {
+      HeuristicParallelizer hp(HeuristicConfig{.dop = dop});
+      auto plan = hp.Parallelize(serial.ValueOrDie());
+      ASSERT_TRUE(plan.ok()) << name << " dop=" << dop << ": "
+                             << plan.status().ToString();
+      ASSERT_TRUE(plan.ValueOrDie().Validate().ok()) << name;
+      Intermediate got = Eval(plan.ValueOrDie());
+      EXPECT_TRUE(IntermediatesEqual(expect, got, 1e-6))
+          << name << " dop=" << dop << ": "
+          << DiffIntermediates(expect, got, 1e-6);
+    }
+  }
+}
+
+TEST_F(HeuristicTest, HpUsesManyMorePartitionsThanServesSmallQueries) {
+  // Table 5's flavor: the HP plan has dop-many clones of everything.
+  auto q14 = Tpch::Q14(*cat_);
+  ASSERT_TRUE(q14.ok());
+  HeuristicParallelizer hp(HeuristicConfig{.dop = 32});
+  auto plan = hp.Parallelize(q14.ValueOrDie());
+  ASSERT_TRUE(plan.ok());
+  PlanStats s = plan.ValueOrDie().Stats();
+  EXPECT_GE(s.num_selects, 32);
+  EXPECT_GE(s.num_joins, 32);
+}
+
+}  // namespace
+}  // namespace apq

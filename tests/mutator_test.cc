@@ -1,0 +1,354 @@
+// Tests for the basic / medium / advanced plan mutations: structure of the
+// mutated plans and, crucially, result preservation (every mutation must
+// leave the query answer unchanged).
+#include <gtest/gtest.h>
+
+#include "adaptive/mutator.h"
+#include "exec/compare.h"
+#include "exec/evaluator.h"
+#include "plan/builder.h"
+#include "util/rng.h"
+
+namespace apq {
+namespace {
+
+class MutatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(3);
+    std::vector<int64_t> vals(20'000), fk(20'000);
+    for (auto& v : vals) v = rng.UniformRange(0, 999);
+    for (auto& v : fk) v = rng.UniformRange(0, 99);
+    std::vector<double> weights(20'000);
+    for (auto& w : weights) w = rng.NextDouble();
+    std::vector<int64_t> pk(100);
+    for (size_t i = 0; i < pk.size(); ++i) pk[i] = static_cast<int64_t>(i);
+    vals_ = Column::MakeInt64("vals", std::move(vals));
+    fk_ = Column::MakeInt64("fk", std::move(fk));
+    w_ = Column::MakeFloat64("w", std::move(weights));
+    pk_ = Column::MakeInt64("pk", std::move(pk));
+    cfg_.min_partition_rows = 16;
+  }
+
+  Intermediate Eval(const QueryPlan& plan) {
+    EvalResult er;
+    Status st = eval_.Execute(plan, &er);
+    EXPECT_TRUE(st.ok()) << st.ToString() << "\n" << plan.ToString();
+    return er.result;
+  }
+
+  /// Profiles a plan with uniform durations so MutateMostExpensive can pick a
+  /// victim; `boost` makes one node the most expensive.
+  RunProfile FakeProfile(const QueryPlan& plan, int boost_node = -1) {
+    RunProfile rp;
+    auto topo = plan.TopologicalOrder();
+    APQ_CHECK(topo.ok());
+    double t = 0;
+    for (int id : topo.ValueOrDie()) {
+      OpProfile op;
+      op.node_id = id;
+      op.kind = plan.node(id).kind;
+      op.start_ns = t;
+      op.end_ns = t + (id == boost_node ? 1e6 : 1e3);
+      op.core = 0;
+      t = op.end_ns;
+      rp.ops.push_back(op);
+    }
+    rp.makespan_ns = t;
+    return rp;
+  }
+
+  QueryPlan SelectPlan() {
+    PlanBuilder b("sel");
+    int sel = b.Select(vals_.get(), Predicate::RangeI64(0, 99));
+    int f = b.FetchJoin(w_.get(), sel);
+    int sum = b.AggScalar(AggFn::kSum, f);
+    return b.Result(sum);
+  }
+
+  QueryPlan JoinPlan() {
+    PlanBuilder b("join");
+    int sel = b.Select(vals_.get(), Predicate::RangeI64(0, 499));
+    int fpk = b.FetchJoin(fk_.get(), sel);
+    int jn = b.Join(fpk, pk_.get());
+    int fw = b.FetchJoin(w_.get(), jn, FetchSide::kLeft);
+    int sum = b.AggScalar(AggFn::kSum, fw);
+    return b.Result(sum);
+  }
+
+  QueryPlan GroupByPlan() {
+    PlanBuilder b("gb");
+    int sel = b.Select(vals_.get(), Predicate::RangeI64(0, 499));
+    int keys = b.FetchJoin(fk_.get(), sel);
+    int vals = b.FetchJoin(w_.get(), sel);
+    int gb = b.GroupBy(keys);
+    int ag = b.AggGrouped(AggFn::kSum, gb, vals);
+    return b.Result(ag);
+  }
+
+  ColumnPtr vals_, fk_, w_, pk_;
+  Evaluator eval_;
+  MutatorConfig cfg_;
+};
+
+TEST_F(MutatorTest, BasicSplitSelectPreservesResult) {
+  QueryPlan plan = SelectPlan();
+  Intermediate serial = Eval(plan);
+  Mutator m(cfg_);
+  int sel_id = 0;
+  ASSERT_EQ(plan.node(sel_id).kind, OpKind::kSelect);
+  ASSERT_TRUE(m.SplitNode(&plan, sel_id, 2).ok());
+  ASSERT_TRUE(plan.Validate().ok());
+  PlanStats s = plan.Stats();
+  EXPECT_EQ(s.num_selects, 2);
+  EXPECT_EQ(s.num_unions, 1);
+  EXPECT_TRUE(IntermediatesEqual(serial, Eval(plan), 1e-6));
+}
+
+TEST_F(MutatorTest, BasicSplitSlicesAreAlignedAndCoverTheColumn) {
+  QueryPlan plan = SelectPlan();
+  Mutator m(cfg_);
+  ASSERT_TRUE(m.SplitNode(&plan, 0, 4).ok());
+  // Collect the slices of the select clones.
+  std::vector<RowRange> slices;
+  for (const auto& n : plan.nodes()) {
+    if (n.kind == OpKind::kSelect && n.has_slice) slices.push_back(n.slice);
+  }
+  ASSERT_EQ(slices.size(), 4u);
+  uint64_t covered = 0;
+  for (size_t i = 0; i < slices.size(); ++i) {
+    covered += slices[i].size();
+    if (i > 0) {
+      EXPECT_EQ(slices[i].begin, slices[i - 1].end);  // aligned
+    }
+  }
+  EXPECT_EQ(covered, vals_->size());
+}
+
+TEST_F(MutatorTest, ResplitSplicesIntoExistingUnion) {
+  QueryPlan plan = SelectPlan();
+  Mutator m(cfg_);
+  ASSERT_TRUE(m.SplitNode(&plan, 0, 2).ok());
+  // Find one select clone and split it again.
+  int clone = -1;
+  for (const auto& n : plan.nodes()) {
+    if (n.kind == OpKind::kSelect && n.has_slice) clone = n.id;
+  }
+  ASSERT_GE(clone, 0);
+  ASSERT_TRUE(m.SplitNode(&plan, clone, 2).ok());
+  PlanStats s = plan.Stats();
+  EXPECT_EQ(s.num_selects, 3);      // 2 live + 1 new pair replacing one
+  EXPECT_EQ(s.num_unions, 1);       // spliced, not nested
+  EXPECT_EQ(s.max_union_fanin, 3);
+  Intermediate serial = Eval(SelectPlan());
+  EXPECT_TRUE(IntermediatesEqual(serial, Eval(plan), 1e-6));
+}
+
+TEST_F(MutatorTest, SplitRefusesTinyPartitions) {
+  QueryPlan plan = SelectPlan();
+  MutatorConfig cfg;
+  cfg.min_partition_rows = 50'000;  // bigger than the table
+  Mutator m(cfg);
+  Status st = m.SplitNode(&plan, 0, 2);
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+}
+
+TEST_F(MutatorTest, SplitRefusesNonParallelizableOps) {
+  QueryPlan plan = SelectPlan();
+  Mutator m(cfg_);
+  // Node 2 is the aggregate.
+  ASSERT_EQ(plan.node(2).kind, OpKind::kAggregate);
+  EXPECT_EQ(m.SplitNode(&plan, 2, 2).code(), StatusCode::kUnsupported);
+}
+
+TEST_F(MutatorTest, BasicSplitJoinPreservesResult) {
+  QueryPlan plan = JoinPlan();
+  Intermediate serial = Eval(plan);
+  Mutator m(cfg_);
+  int join_id = -1;
+  for (const auto& n : plan.nodes()) {
+    if (n.kind == OpKind::kJoin) join_id = n.id;
+  }
+  ASSERT_TRUE(m.SplitNode(&plan, join_id, 2).ok());
+  ASSERT_TRUE(plan.Validate().ok());
+  EXPECT_EQ(plan.Stats().num_joins, 2);
+  EXPECT_TRUE(IntermediatesEqual(serial, Eval(plan), 1e-6));
+}
+
+TEST_F(MutatorTest, BasicSplitFetchJoinPreservesResultAndOrder) {
+  QueryPlan plan = SelectPlan();
+  Intermediate serial = Eval(plan);
+  Mutator m(cfg_);
+  int f_id = 1;
+  ASSERT_EQ(plan.node(f_id).kind, OpKind::kFetchJoin);
+  ASSERT_TRUE(m.SplitNode(&plan, f_id, 3).ok());
+  EXPECT_TRUE(IntermediatesEqual(serial, Eval(plan), 1e-6));
+}
+
+TEST_F(MutatorTest, MediumMutationRemovesUnionAndPreservesResult) {
+  QueryPlan plan = SelectPlan();
+  Intermediate serial = Eval(plan);
+  Mutator m(cfg_);
+  ASSERT_TRUE(m.SplitNode(&plan, 0, 3).ok());
+  // Find the union and propagate it through the fetchjoin consumer.
+  int union_id = -1;
+  for (const auto& n : plan.nodes()) {
+    if (n.kind == OpKind::kExchangeUnion) union_id = n.id;
+  }
+  ASSERT_GE(union_id, 0);
+  ASSERT_TRUE(m.PropagateUnion(&plan, union_id).ok());
+  ASSERT_TRUE(plan.Validate().ok());
+  PlanStats s = plan.Stats();
+  EXPECT_EQ(s.num_fetchjoins, 3);  // cloned per union input
+  EXPECT_TRUE(IntermediatesEqual(serial, Eval(plan), 1e-6));
+}
+
+TEST_F(MutatorTest, MediumMutationSuppressedAboveFaninThreshold) {
+  QueryPlan plan = SelectPlan();
+  MutatorConfig cfg = cfg_;
+  cfg.union_fanin_threshold = 3;
+  Mutator m(cfg);
+  ASSERT_TRUE(m.SplitNode(&plan, 0, 5).ok());
+  int union_id = -1;
+  for (const auto& n : plan.nodes()) {
+    if (n.kind == OpKind::kExchangeUnion) union_id = n.id;
+  }
+  Status st = m.PropagateUnion(&plan, union_id);
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+  EXPECT_NE(st.message().find("suppressed"), std::string::npos);
+}
+
+TEST_F(MutatorTest, MediumMutationThroughScalarAggregateAddsMerge) {
+  QueryPlan plan = SelectPlan();
+  Intermediate serial = Eval(plan);
+  Mutator m(cfg_);
+  ASSERT_TRUE(m.SplitNode(&plan, 1, 2).ok());  // split the fetchjoin
+  int union_id = -1;
+  for (const auto& n : plan.nodes()) {
+    if (n.kind == OpKind::kExchangeUnion) union_id = n.id;
+  }
+  // The union feeds the scalar aggregate; propagation must clone the
+  // aggregate and add a merge.
+  ASSERT_TRUE(m.PropagateUnion(&plan, union_id).ok());
+  ASSERT_TRUE(plan.Validate().ok());
+  bool has_merge = false;
+  auto topo = plan.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  for (int id : topo.ValueOrDie()) {
+    if (plan.node(id).kind == OpKind::kAggrMerge) has_merge = true;
+  }
+  EXPECT_TRUE(has_merge);
+  EXPECT_TRUE(IntermediatesEqual(serial, Eval(plan), 1e-6));
+}
+
+TEST_F(MutatorTest, AdvancedGroupByPreservesResult) {
+  QueryPlan plan = GroupByPlan();
+  Intermediate serial = Eval(plan);
+  Mutator m(cfg_);
+  // Partition both fetchjoins (keys and values) 2 ways, keeping matching
+  // partition structure, then parallelize the group-by.
+  ASSERT_TRUE(m.SplitNode(&plan, 1, 2).ok());  // keys fetchjoin
+  ASSERT_TRUE(m.SplitNode(&plan, 2, 2).ok());  // values fetchjoin
+  int gb_id = 3;
+  ASSERT_EQ(plan.node(gb_id).kind, OpKind::kGroupBy);
+  ASSERT_TRUE(m.AdvancedGroupBy(&plan, gb_id).ok());
+  ASSERT_TRUE(plan.Validate().ok());
+  PlanStats s = plan.Stats();
+  EXPECT_EQ(s.num_groupbys, 2);
+  EXPECT_TRUE(IntermediatesEqual(serial, Eval(plan), 1e-6));
+}
+
+TEST_F(MutatorTest, AdvancedGroupByRequiresPartitionedInput) {
+  QueryPlan plan = GroupByPlan();
+  Mutator m(cfg_);
+  Status st = m.AdvancedGroupBy(&plan, 3);
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+}
+
+TEST_F(MutatorTest, AdvancedGroupByRejectsMismatchedValuePartitions) {
+  QueryPlan plan = GroupByPlan();
+  Mutator m(cfg_);
+  ASSERT_TRUE(m.SplitNode(&plan, 1, 2).ok());  // keys 2 ways
+  ASSERT_TRUE(m.SplitNode(&plan, 2, 3).ok());  // values 3 ways (mismatch)
+  Status st = m.AdvancedGroupBy(&plan, 3);
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+}
+
+TEST_F(MutatorTest, AdvancedSortPreservesResult) {
+  PlanBuilder b("sort");
+  int sel = b.Select(vals_.get(), Predicate::RangeI64(0, 99));
+  int f = b.FetchJoin(w_.get(), sel);
+  int srt = b.Sort(f);
+  QueryPlan plan = b.Result(srt);
+  Intermediate serial = Eval(plan);
+  Mutator m(cfg_);
+  ASSERT_TRUE(m.SplitNode(&plan, f, 2).ok());
+  ASSERT_TRUE(m.AdvancedSort(&plan, srt).ok());
+  ASSERT_TRUE(plan.Validate().ok());
+  Intermediate par = Eval(plan);
+  // Values must be identically sorted (head order may differ for ties).
+  ASSERT_EQ(par.values.size(), serial.values.size());
+  for (uint64_t i = 0; i < par.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(par.values.AsDouble(i), serial.values.AsDouble(i));
+  }
+}
+
+TEST_F(MutatorTest, MutateMostExpensiveTargetsHotOperator) {
+  QueryPlan plan = SelectPlan();
+  Mutator m(cfg_);
+  MutationReport report;
+  auto mutated = m.MutateMostExpensive(plan, FakeProfile(plan, 0), &report);
+  ASSERT_TRUE(mutated.ok());
+  EXPECT_TRUE(report.mutated);
+  EXPECT_EQ(report.target_node, 0);
+  EXPECT_EQ(report.action, "basic");
+  EXPECT_EQ(mutated.ValueOrDie().Stats().num_selects, 2);
+}
+
+TEST_F(MutatorTest, MutateMostExpensiveFallsBackToAncestorForAggregate) {
+  QueryPlan plan = SelectPlan();
+  Mutator m(cfg_);
+  // The aggregate (node 2) is hottest but unmutable; its splittable ancestor
+  // (select or fetchjoin) should be split instead.
+  MutationReport report;
+  auto mutated = m.MutateMostExpensive(plan, FakeProfile(plan, 2), &report);
+  ASSERT_TRUE(mutated.ok());
+  EXPECT_TRUE(report.mutated);
+  EXPECT_NE(report.target_node, 2);
+  EXPECT_EQ(report.action, "basic");
+}
+
+TEST_F(MutatorTest, StaticOriginFollowsDataflow) {
+  QueryPlan plan = JoinPlan();
+  // Select leaf: full column.
+  EXPECT_EQ(Mutator::StaticOrigin(plan, 0), vals_->full_range());
+  // FetchJoin on fk: fk's full range.
+  EXPECT_EQ(Mutator::StaticOrigin(plan, 1), fk_->full_range());
+}
+
+TEST_F(MutatorTest, RepeatedMutationsKeepResultStable) {
+  // Drive many mutation steps with synthetic profiles picking random nodes;
+  // the result must never change (the key safety property of adaptation).
+  QueryPlan serial = JoinPlan();
+  Intermediate expect = Eval(serial);
+  Mutator m(cfg_);
+  Rng rng(11);
+  QueryPlan plan = serial.Clone();
+  for (int step = 0; step < 12; ++step) {
+    auto topo = plan.TopologicalOrder();
+    ASSERT_TRUE(topo.ok());
+    const auto& order = topo.ValueOrDie();
+    int victim = order[rng.Uniform(order.size())];
+    MutationReport report;
+    auto mutated = m.MutateMostExpensive(plan, FakeProfile(plan, victim),
+                                         &report);
+    ASSERT_TRUE(mutated.ok());
+    plan = mutated.MoveValueOrDie();
+    ASSERT_TRUE(plan.Validate().ok()) << plan.ToString();
+    ASSERT_TRUE(IntermediatesEqual(expect, Eval(plan), 1e-6))
+        << "diverged at step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace apq

@@ -1,0 +1,126 @@
+// Unit tests: plan DAG, topological order, validation, statistics.
+#include <gtest/gtest.h>
+
+#include "plan/builder.h"
+#include "plan/plan.h"
+
+namespace apq {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    col_ = Column::MakeInt64("a", std::vector<int64_t>(100, 1));
+    fcol_ = Column::MakeFloat64("f", std::vector<double>(100, 2.0));
+  }
+  ColumnPtr col_, fcol_;
+};
+
+TEST_F(PlanTest, BuilderWiresLinearPlan) {
+  PlanBuilder b("linear");
+  int sel = b.Select(col_.get(), Predicate::RangeI64(0, 5));
+  int f = b.FetchJoin(fcol_.get(), sel);
+  int sum = b.AggScalar(AggFn::kSum, f);
+  QueryPlan plan = b.Result(sum);
+  EXPECT_TRUE(plan.Validate().ok());
+  EXPECT_EQ(plan.num_nodes(), 4);
+  auto topo = plan.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo.ValueOrDie(), (std::vector<int>{sel, f, sum, plan.result_id()}));
+}
+
+TEST_F(PlanTest, TopoOrderSkipsUnreachableNodes) {
+  PlanBuilder b("t");
+  int sel = b.Select(col_.get(), Predicate::RangeI64(0, 5));
+  int orphan = b.Select(col_.get(), Predicate::RangeI64(6, 9));
+  (void)orphan;
+  QueryPlan plan = b.Result(sel);
+  auto topo = plan.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo.ValueOrDie().size(), 2u);  // sel + result only
+}
+
+TEST_F(PlanTest, CycleIsDetected) {
+  PlanBuilder b("t");
+  int sel = b.Select(col_.get(), Predicate::RangeI64(0, 5));
+  int f = b.FetchJoin(fcol_.get(), sel);
+  QueryPlan plan = b.Result(f);
+  // Introduce a cycle by hand.
+  plan.node(sel).inputs.push_back(f);
+  auto topo = plan.TopologicalOrder();
+  EXPECT_FALSE(topo.ok());
+}
+
+TEST_F(PlanTest, MissingResultIsAnError) {
+  QueryPlan plan("empty");
+  EXPECT_FALSE(plan.TopologicalOrder().ok());
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST_F(PlanTest, ValidateChecksSliceBounds) {
+  PlanBuilder b("t");
+  int sel = b.Select(col_.get(), Predicate::RangeI64(0, 5));
+  QueryPlan plan = b.Result(sel);
+  plan.node(sel).has_slice = true;
+  plan.node(sel).slice = {50, 200};  // beyond the 100-row column
+  Status st = plan.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(PlanTest, ValidateChecksArity) {
+  PlanBuilder b("t");
+  int sel = b.Select(col_.get(), Predicate::RangeI64(0, 5));
+  int f = b.FetchJoin(fcol_.get(), sel);
+  QueryPlan plan = b.Result(f);
+  plan.node(f).inputs.push_back(sel);  // fetchjoin with two inputs
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST_F(PlanTest, ConsumersFindsReaders) {
+  PlanBuilder b("t");
+  int sel = b.Select(col_.get(), Predicate::RangeI64(0, 5));
+  int f1 = b.FetchJoin(fcol_.get(), sel);
+  int f2 = b.FetchJoin(col_.get(), sel);
+  int mp = b.Map2(MapFn::kAdd, f1, f2);
+  QueryPlan plan = b.Result(mp);
+  std::vector<int> cons = plan.Consumers(sel);
+  EXPECT_EQ(cons.size(), 2u);
+}
+
+TEST_F(PlanTest, StatsCountOperators) {
+  PlanBuilder b("t");
+  int sel = b.Select(col_.get(), Predicate::RangeI64(0, 5));
+  int f = b.FetchJoin(fcol_.get(), sel);
+  int gb = b.GroupBy(f);
+  int ag = b.AggGrouped(AggFn::kSum, gb, f);
+  QueryPlan plan = b.Result(ag);
+  PlanStats s = plan.Stats();
+  EXPECT_EQ(s.num_selects, 1);
+  EXPECT_EQ(s.num_fetchjoins, 1);
+  EXPECT_EQ(s.num_groupbys, 1);
+  EXPECT_EQ(s.num_aggregates, 1);
+  EXPECT_EQ(s.num_unions, 0);
+  EXPECT_EQ(s.num_nodes, 5);
+}
+
+TEST_F(PlanTest, CloneIsIndependent) {
+  PlanBuilder b("t");
+  int sel = b.Select(col_.get(), Predicate::RangeI64(0, 5));
+  QueryPlan plan = b.Result(sel);
+  QueryPlan copy = plan.Clone();
+  copy.node(sel).slice = {1, 2};
+  copy.node(sel).has_slice = true;
+  EXPECT_FALSE(plan.node(sel).has_slice);
+}
+
+TEST_F(PlanTest, ToStringRendersMalStyle) {
+  PlanBuilder b("t");
+  int sel = b.Select(col_.get(), Predicate::RangeI64(0, 5));
+  QueryPlan plan = b.Result(sel);
+  std::string s = plan.ToString();
+  EXPECT_NE(s.find("select"), std::string::npos);
+  EXPECT_NE(s.find("X_0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apq

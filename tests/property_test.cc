@@ -1,0 +1,282 @@
+// Property-based tests (parameterized sweeps) of the core invariants:
+//  - any mutation sequence preserves query results exactly,
+//  - dynamic partitions of a reachable plan tile the base column
+//    (no repetition, no omission — paper §2.3's alignment requirements),
+//  - exchange unions preserve base-table order,
+//  - the convergence algorithm always terminates within its bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adaptive/convergence.h"
+#include "adaptive/mutator.h"
+#include "engine/engine.h"
+#include "plan/builder.h"
+#include "exec/compare.h"
+#include "workload/skew.h"
+#include "workload/tpch.h"
+
+namespace apq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Result preservation across random mutation sequences, per query and seed.
+// ---------------------------------------------------------------------------
+
+using QuerySeed = std::tuple<std::string, int>;
+
+class MutationFuzzTest : public ::testing::TestWithParam<QuerySeed> {};
+
+TEST_P(MutationFuzzTest, RandomMutationSequencePreservesResult) {
+  auto [query, seed] = GetParam();
+  TpchConfig cfg;
+  cfg.lineitem_rows = 12'000;
+  cfg.seed = 7 + seed;
+  auto cat = Tpch::Generate(cfg);
+  auto serial = Tpch::Query(*cat, query);
+  ASSERT_TRUE(serial.ok());
+
+  Evaluator eval;
+  EvalResult er;
+  ASSERT_TRUE(eval.Execute(serial.ValueOrDie(), &er).ok());
+  Intermediate expect = er.result;
+
+  MutatorConfig mcfg;
+  mcfg.min_partition_rows = 32;
+  Mutator mutator(mcfg);
+  Rng rng(1000 + seed);
+  QueryPlan plan = serial.ValueOrDie().Clone();
+  for (int step = 0; step < 10; ++step) {
+    // Synthetic profile: random node is "most expensive".
+    auto topo = plan.TopologicalOrder();
+    ASSERT_TRUE(topo.ok());
+    const auto& order = topo.ValueOrDie();
+    RunProfile profile;
+    double t = 0;
+    int hot = order[rng.Uniform(order.size())];
+    for (int id : order) {
+      OpProfile op;
+      op.node_id = id;
+      op.kind = plan.node(id).kind;
+      op.start_ns = t;
+      op.end_ns = t + (id == hot ? 1e6 : 1e3 + rng.Uniform(100));
+      t = op.end_ns;
+      profile.ops.push_back(op);
+    }
+    MutationReport report;
+    auto mutated = mutator.MutateMostExpensive(plan, profile, &report);
+    ASSERT_TRUE(mutated.ok());
+    plan = mutated.MoveValueOrDie();
+    ASSERT_TRUE(plan.Validate().ok()) << query << " step " << step;
+    EvalResult er2;
+    ASSERT_TRUE(eval.Execute(plan, &er2).ok()) << query << " step " << step;
+    ASSERT_TRUE(IntermediatesEqual(expect, er2.result, 1e-6))
+        << query << " seed " << seed << " step " << step << ": "
+        << DiffIntermediates(expect, er2.result, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueriesBySeeds, MutationFuzzTest,
+    ::testing::Combine(::testing::Values("Q6", "Q14", "Q8", "Q19", "Q4"),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Partition tiling: reachable leaf slices of an adapted plan tile the column.
+// ---------------------------------------------------------------------------
+
+class PartitionTilingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionTilingTest, ReachableSlicesTileTheBaseColumn) {
+  SkewConfig scfg;
+  scfg.rows = 40'000;
+  scfg.seed = 13 + GetParam();
+  auto cat = GenerateSkewed(scfg);
+  SimConfig sim = SimConfig::Cores(8, 8);
+  sim.seed = 100 + GetParam();
+  sim.noise_sigma = 0.05;
+  Engine engine(EngineConfig::WithSim(sim));
+  auto plan = SkewedSelectPlan(*cat, scfg, 10 * (1 + GetParam() % 5));
+  ASSERT_TRUE(plan.ok());
+  auto ap = engine.RunAdaptive(plan.ValueOrDie());
+  ASSERT_TRUE(ap.ok());
+  const QueryPlan& gme = ap.ValueOrDie().gme_plan;
+
+  auto topo = gme.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  std::vector<RowRange> slices;
+  int unsliced_selects = 0;
+  for (int id : topo.ValueOrDie()) {
+    const PlanNode& n = gme.node(id);
+    if (n.kind != OpKind::kSelect) continue;
+    if (n.has_slice) slices.push_back(n.slice);
+    else ++unsliced_selects;
+  }
+  if (slices.empty()) {
+    // Never split: the single unsliced select covers everything.
+    EXPECT_EQ(unsliced_selects, 1);
+    return;
+  }
+  EXPECT_EQ(unsliced_selects, 0);
+  std::sort(slices.begin(), slices.end(),
+            [](const RowRange& a, const RowRange& b) { return a.begin < b.begin; });
+  // No omission, no repetition: consecutive slices abut exactly (Fig 8's
+  // alignment-on-the-base-column invariant).
+  EXPECT_EQ(slices.front().begin, 0u);
+  EXPECT_EQ(slices.back().end, scfg.rows);
+  for (size_t i = 1; i < slices.size(); ++i) {
+    EXPECT_EQ(slices[i].begin, slices[i - 1].end)
+        << "gap or overlap at slice " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionTilingTest, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Union ordering: packed row ids stay sorted (base-table order).
+// ---------------------------------------------------------------------------
+
+class UnionOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnionOrderTest, PackedRowIdsStaySorted) {
+  int ways = 2 + GetParam();
+  Rng rng(50 + ways);
+  std::vector<int64_t> vals(20'000);
+  for (auto& v : vals) v = rng.UniformRange(0, 99);
+  auto col = Column::MakeInt64("c", std::move(vals));
+  PlanBuilder b("t");
+  int sel = b.Select(col.get(), Predicate::RangeI64(0, 49));
+  QueryPlan plan = b.Result(sel);
+  MutatorConfig mcfg;
+  mcfg.min_partition_rows = 8;
+  Mutator m(mcfg);
+  ASSERT_TRUE(m.SplitNode(&plan, sel, ways).ok());
+  Evaluator eval;
+  EvalResult er;
+  ASSERT_TRUE(eval.Execute(plan, &er).ok());
+  const auto& ids = er.result.rowids;
+  for (size_t i = 1; i < ids.size(); ++i) {
+    ASSERT_LT(ids[i - 1], ids[i]) << "order violated at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, UnionOrderTest, ::testing::Range(0, 7));
+
+// ---------------------------------------------------------------------------
+// Convergence termination across random execution-time landscapes.
+// ---------------------------------------------------------------------------
+
+class ConvergenceTerminationTest : public ::testing::TestWithParam<int> {};
+
+// A realistic adaptation landscape (the paper's §3.3 assumption): a steep
+// initial descent, then a mostly stable plateau with small variations and
+// rare spikes. The leaking debit must terminate this within the analytical
+// bounds.
+TEST_P(ConvergenceTerminationTest, CalmLandscapeTerminatesWithinBounds) {
+  Rng rng(31 + GetParam());
+  ConvergenceParams p;
+  p.cores = 4 + static_cast<int>(rng.Uniform(60));
+  p.extra_runs = 2 + static_cast<int>(rng.Uniform(14));
+  p.max_runs = 10'000;  // effectively disabled: the leak must terminate us
+  ConvergenceController c(p);
+  double serial = 1000.0;
+  double floor = 40.0;
+  double t = serial;
+  bool cont = c.Observe(serial);
+  int runs = 1;
+  while (cont) {
+    ASSERT_LT(runs, 9'000) << "did not terminate";
+    if (t > floor * 1.5) t *= 0.75;                     // descent phase
+    else t = floor * (1.0 + 0.04 * rng.NextDouble());   // stable plateau
+    if (rng.NextDouble() < 0.01) t = serial * 1.5;      // rare spike
+    cont = c.Observe(t);
+    ++runs;
+  }
+  // Upper bound plus slack for peak-grace extensions and credit growth.
+  EXPECT_LE(runs, c.UpperBound() * 3 + 10);
+  // GME is never worse than every observed run (it is one of them).
+  double raw_min = 1e300;
+  for (size_t i = 1; i < c.times().size(); ++i) {
+    raw_min = std::min(raw_min, c.times()[i]);
+  }
+  EXPECT_GE(c.gme(), raw_min - 1e-9);
+  EXPECT_LE(c.gme(), serial * 10);
+}
+
+// An adversarial landscape with sustained multiplicative oscillation defeats
+// the leaking debit: ROI is asymmetric (a drop by factor f credits 1-f, the
+// matching climb debits only (1/f-1)*f), so credit inflow can outpace the
+// constant leak indefinitely. The paper's termination argument (§3.3.2)
+// assumes "execution time variations are minimal"; the hard max_runs cap is
+// the backstop this repository relies on (documented in DESIGN.md).
+TEST_P(ConvergenceTerminationTest, AdversarialLandscapeStoppedByMaxRuns) {
+  Rng rng(61 + GetParam());
+  ConvergenceParams p;
+  p.cores = 8 + static_cast<int>(rng.Uniform(32));
+  p.max_runs = 500;
+  ConvergenceController c(p);
+  double serial = 1000.0;
+  double t = serial;
+  bool cont = c.Observe(serial);
+  int runs = 1;
+  while (cont) {
+    ASSERT_LE(runs, p.max_runs) << "max_runs cap violated";
+    double r = rng.NextDouble();
+    if (r < 0.5) t *= 0.7 + 0.3 * rng.NextDouble();        // improve
+    else if (r < 0.8) t *= 0.98 + 0.04 * rng.NextDouble(); // plateau
+    else t *= 1.0 + 0.3 * rng.NextDouble();                // up-hill
+    if (t < 1.0) t = 1.0;
+    cont = c.Observe(t);
+    ++runs;
+  }
+  EXPECT_LE(runs, p.max_runs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Landscapes, ConvergenceTerminationTest,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Adaptive vs heuristic vs serial agreement across engines and machine sizes.
+// ---------------------------------------------------------------------------
+
+class CrossStrategyAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CrossStrategyAgreementTest, AllStrategiesAgree) {
+  auto [cores, seed] = GetParam();
+  TpchConfig cfg;
+  cfg.lineitem_rows = 15'000;
+  cfg.seed = 7 + seed;
+  auto cat = Tpch::Generate(cfg);
+  EngineConfig ecfg = EngineConfig::WithSim(
+      SimConfig::Cores(cores, std::max(1, cores / 2)));
+  ecfg.verify_results = true;
+  Engine engine(ecfg);
+  auto q = Tpch::Q14(*cat);
+  ASSERT_TRUE(q.ok());
+  auto serial = engine.RunSerial(q.ValueOrDie());
+  ASSERT_TRUE(serial.ok());
+  auto hp = engine.RunHeuristic(q.ValueOrDie());
+  ASSERT_TRUE(hp.ok());
+  auto ap = engine.RunAdaptive(q.ValueOrDie());
+  ASSERT_TRUE(ap.ok()) << ap.status().ToString();
+  EXPECT_TRUE(IntermediatesEqual(serial.ValueOrDie().result,
+                                 hp.ValueOrDie().result, 1e-6));
+  EXPECT_TRUE(IntermediatesEqual(serial.ValueOrDie().result,
+                                 ap.ValueOrDie().result, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoresBySeeds, CrossStrategyAgreementTest,
+    ::testing::Combine(::testing::Values(2, 8, 32), ::testing::Values(0, 1)),
+    [](const auto& info) {
+      return "cores" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace apq

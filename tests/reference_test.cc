@@ -1,0 +1,204 @@
+// Reference tests: recompute query answers with straightforward brute-force
+// loops over the raw generated data, independent of the operator
+// implementations, and compare against the engine (serial, heuristic, and
+// adaptive execution).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "engine/engine.h"
+#include "exec/compare.h"
+#include "workload/skew.h"
+#include "workload/tpch.h"
+
+namespace apq {
+namespace {
+
+class ReferenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_.lineitem_rows = 25'000;
+    cat_ = Tpch::Generate(cfg_);
+  }
+
+  const Column* Col(const char* table, const char* col) {
+    return cat_->GetTable(table)->GetColumn(col);
+  }
+
+  TpchConfig cfg_;
+  std::shared_ptr<Catalog> cat_;
+};
+
+TEST_F(ReferenceTest, Q6RevenueMatchesBruteForce) {
+  // Brute force: sum(price * discount) for the Q6 predicate.
+  const auto& ship = Col("lineitem", "l_shipdate")->i64();
+  const auto& disc = Col("lineitem", "l_discount")->f64();
+  const auto& qty = Col("lineitem", "l_quantity")->i64();
+  const auto& price = Col("lineitem", "l_extendedprice")->f64();
+  double expect = 0;
+  for (size_t i = 0; i < ship.size(); ++i) {
+    if (ship[i] >= kTpchDate0 + 365 && ship[i] <= kTpchDate0 + 729 &&
+        disc[i] >= 0.05 && disc[i] <= 0.07 && qty[i] >= 1 && qty[i] <= 23) {
+      expect += price[i] * disc[i];
+    }
+  }
+
+  Engine engine(EngineConfig::WithSim(SimConfig::Cores(8, 4)));
+  auto q6 = Tpch::Q6(*cat_);
+  ASSERT_TRUE(q6.ok());
+  auto serial = engine.RunSerial(q6.ValueOrDie());
+  ASSERT_TRUE(serial.ok());
+  EXPECT_NEAR(serial.ValueOrDie().result.scalar, expect, 1e-6 * expect);
+
+  auto hp = engine.RunHeuristic(q6.ValueOrDie(), 8);
+  ASSERT_TRUE(hp.ok());
+  double hp_val = hp.ValueOrDie().result.kind == Intermediate::Kind::kScalar
+                      ? hp.ValueOrDie().result.scalar
+                      : hp.ValueOrDie().result.agg_vals[0];
+  EXPECT_NEAR(hp_val, expect, 1e-6 * expect);
+
+  auto ap = engine.RunAdaptive(q6.ValueOrDie());
+  ASSERT_TRUE(ap.ok());
+  double ap_val = ap.ValueOrDie().result.kind == Intermediate::Kind::kScalar
+                      ? ap.ValueOrDie().result.scalar
+                      : ap.ValueOrDie().result.agg_vals[0];
+  EXPECT_NEAR(ap_val, expect, 1e-6 * expect);
+}
+
+TEST_F(ReferenceTest, Q14PromoFractionMatchesBruteForce) {
+  const auto& ship = Col("lineitem", "l_shipdate")->i64();
+  const auto& pkey = Col("lineitem", "l_partkey")->i64();
+  const auto& disc = Col("lineitem", "l_discount")->f64();
+  const auto& price = Col("lineitem", "l_extendedprice")->f64();
+  const Column* ptype = Col("part", "p_type");
+  double promo = 0, total = 0;
+  for (size_t i = 0; i < ship.size(); ++i) {
+    if (ship[i] < kTpchDate0 + 1000 || ship[i] > kTpchDate0 + 1029) continue;
+    double rev = price[i] * (1.0 - disc[i]);
+    total += rev;
+    const std::string& t = ptype->DictString(ptype->i64()[pkey[i]]);
+    if (t.find("PROMO") != std::string::npos) promo += rev;
+  }
+  double expect = total > 0 ? promo / total : 0;
+
+  Engine engine(EngineConfig::WithSim(SimConfig::Cores(8, 4)));
+  auto q14 = Tpch::Q14(*cat_);
+  ASSERT_TRUE(q14.ok());
+  auto serial = engine.RunSerial(q14.ValueOrDie());
+  ASSERT_TRUE(serial.ok());
+  EXPECT_NEAR(serial.ValueOrDie().result.scalar, expect, 1e-9);
+
+  auto ap = engine.RunAdaptive(q14.ValueOrDie());
+  ASSERT_TRUE(ap.ok());
+  EXPECT_TRUE(IntermediatesEqual(serial.ValueOrDie().result,
+                                 ap.ValueOrDie().result, 1e-9));
+}
+
+TEST_F(ReferenceTest, Q4PriorityCountsMatchBruteForce) {
+  const auto& odate = Col("orders", "o_orderdate")->i64();
+  const Column* prio = Col("orders", "o_orderpriority");
+  std::map<int64_t, int64_t> expect;  // dict code -> count
+  for (size_t i = 0; i < odate.size(); ++i) {
+    if (odate[i] >= kTpchDate0 + 730 && odate[i] <= kTpchDate0 + 819) {
+      ++expect[prio->i64()[i]];
+    }
+  }
+
+  Engine engine(EngineConfig::WithSim(SimConfig::Cores(8, 4)));
+  auto q4 = Tpch::Q4(*cat_);
+  ASSERT_TRUE(q4.ok());
+  auto serial = engine.RunSerial(q4.ValueOrDie());
+  ASSERT_TRUE(serial.ok());
+  const Intermediate& r = serial.ValueOrDie().result;
+  ASSERT_EQ(r.kind, Intermediate::Kind::kGroupedAgg);
+  ASSERT_EQ(r.agg_vals.size(), expect.size());
+  for (size_t g = 0; g < r.agg_vals.size(); ++g) {
+    int64_t key = r.group_keys.AsInt(g);
+    ASSERT_TRUE(expect.count(key)) << "unexpected group " << key;
+    EXPECT_DOUBLE_EQ(r.agg_vals[g], static_cast<double>(expect[key]));
+  }
+}
+
+TEST_F(ReferenceTest, Q22NationBalancesMatchBruteForce) {
+  const auto& bal = Col("customer", "c_acctbal")->f64();
+  const auto& nk = Col("customer", "c_nationkey")->i64();
+  std::map<int64_t, double> expect;
+  for (size_t i = 0; i < bal.size(); ++i) {
+    if (bal[i] >= 0.0) expect[nk[i]] += bal[i];
+  }
+
+  Engine engine(EngineConfig::WithSim(SimConfig::Cores(8, 4)));
+  auto q22 = Tpch::Q22(*cat_);
+  ASSERT_TRUE(q22.ok());
+  auto serial = engine.RunSerial(q22.ValueOrDie());
+  ASSERT_TRUE(serial.ok());
+  const Intermediate& r = serial.ValueOrDie().result;
+  ASSERT_EQ(r.kind, Intermediate::Kind::kGroupedAgg);
+  ASSERT_EQ(r.agg_vals.size(), expect.size());
+  std::map<int64_t, double> got;
+  for (size_t g = 0; g < r.agg_vals.size(); ++g) {
+    got[r.group_keys.AsInt(g)] = r.agg_vals[g];
+  }
+  for (const auto& [key, val] : expect) {
+    ASSERT_TRUE(got.count(key));
+    EXPECT_NEAR(got[key], val, 1e-6 * std::abs(val));
+  }
+  // Sorted descending by aggregate.
+  for (size_t g = 1; g < r.agg_vals.size(); ++g) {
+    EXPECT_GE(r.agg_vals[g - 1], r.agg_vals[g]);
+  }
+}
+
+TEST_F(ReferenceTest, Q19FlaggedRevenueMatchesBruteForce) {
+  const auto& pkey = Col("lineitem", "l_partkey")->i64();
+  const auto& qty = Col("lineitem", "l_quantity")->i64();
+  const auto& disc = Col("lineitem", "l_discount")->f64();
+  const auto& price = Col("lineitem", "l_extendedprice")->f64();
+  const Column* brand = Col("part", "p_brand");
+  const Column* cont = Col("part", "p_container");
+  double expect = 0;
+  for (size_t i = 0; i < pkey.size(); ++i) {
+    const std::string& b = brand->DictString(brand->i64()[pkey[i]]);
+    const std::string& c = cont->DictString(cont->i64()[pkey[i]]);
+    bool bf = b.find("Brand#12") != std::string::npos;
+    bool cf = c.find("SM") != std::string::npos;
+    bool qf = qty[i] >= 1 && qty[i] <= 11;
+    if (bf && cf && qf) expect += price[i] * (1.0 - disc[i]);
+  }
+
+  Engine engine(EngineConfig::WithSim(SimConfig::Cores(8, 4)));
+  auto q19 = Tpch::Q19(*cat_);
+  ASSERT_TRUE(q19.ok());
+  auto serial = engine.RunSerial(q19.ValueOrDie());
+  ASSERT_TRUE(serial.ok());
+  EXPECT_NEAR(serial.ValueOrDie().result.scalar, expect,
+              1e-6 * std::max(1.0, expect));
+}
+
+TEST(SkewReferenceTest, SelectSumMatchesBruteForce) {
+  SkewConfig cfg;
+  cfg.rows = 50'000;
+  auto cat = GenerateSkewed(cfg);
+  const auto& v = cat->GetTable("skewed")->GetColumn("v")->i64();
+  for (int pct : {10, 30, 50}) {
+    int clusters_hit = std::max(
+        1, std::min(cfg.clusters, pct * cfg.clusters * 2 / 100));
+    double expect = 0;
+    for (int64_t x : v) {
+      if (x >= 0 && x <= clusters_hit - 1) expect += static_cast<double>(x);
+    }
+    Engine engine(EngineConfig::WithSim(SimConfig::Cores(8, 4)));
+    auto plan = SkewedSelectPlan(*cat, cfg, pct);
+    ASSERT_TRUE(plan.ok());
+    auto ap = engine.RunAdaptive(plan.ValueOrDie());
+    ASSERT_TRUE(ap.ok());
+    double got = ap.ValueOrDie().result.kind == Intermediate::Kind::kScalar
+                     ? ap.ValueOrDie().result.scalar
+                     : ap.ValueOrDie().result.agg_vals[0];
+    EXPECT_NEAR(got, expect, 1e-6 * std::max(1.0, expect)) << "pct=" << pct;
+  }
+}
+
+}  // namespace
+}  // namespace apq

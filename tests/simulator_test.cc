@@ -1,0 +1,163 @@
+// Tests for the virtual-time multi-core simulator: dataflow scheduling,
+// parallel speedup, hyper-threading, bandwidth contention, noise determinism,
+// arrivals, and utilization accounting.
+#include <gtest/gtest.h>
+
+#include "sched/simulator.h"
+
+namespace apq {
+namespace {
+
+SimConfig Quiet(int logical, int physical) {
+  SimConfig c = SimConfig::Cores(logical, physical);
+  c.noise_sigma = 0.0;
+  c.peak_probability = 0.0;
+  return c;
+}
+
+SimTask Task(double work, double mem = 0.0, std::vector<int> deps = {}) {
+  SimTask t;
+  t.work_ns = work;
+  t.mem_intensity = mem;
+  t.deps = std::move(deps);
+  return t;
+}
+
+TEST(SimulatorTest, SingleTaskRunsAtFullSpeed) {
+  Simulator sim(Quiet(4, 4));
+  auto out = sim.Run({Task(1000.0)});
+  EXPECT_NEAR(out.makespan_ns, 1000.0, 1e-6);
+  EXPECT_EQ(out.timings[0].core, 0);
+}
+
+TEST(SimulatorTest, IndependentTasksRunInParallel) {
+  Simulator sim(Quiet(4, 4));
+  auto out = sim.Run({Task(1000), Task(1000), Task(1000), Task(1000)});
+  EXPECT_NEAR(out.makespan_ns, 1000.0, 1e-6);
+  EXPECT_NEAR(out.utilization, 1.0, 1e-6);
+}
+
+TEST(SimulatorTest, MoreTasksThanCoresQueueFifo) {
+  Simulator sim(Quiet(2, 2));
+  auto out = sim.Run({Task(1000), Task(1000), Task(1000), Task(1000)});
+  EXPECT_NEAR(out.makespan_ns, 2000.0, 1e-6);
+}
+
+TEST(SimulatorTest, DependenciesSerializeExecution) {
+  Simulator sim(Quiet(4, 4));
+  auto out = sim.Run({Task(500), Task(500, 0, {0}), Task(500, 0, {1})});
+  EXPECT_NEAR(out.makespan_ns, 1500.0, 1e-6);
+  EXPECT_GE(out.timings[1].start_ns, out.timings[0].end_ns - 1e-6);
+  EXPECT_GE(out.timings[2].start_ns, out.timings[1].end_ns - 1e-6);
+}
+
+TEST(SimulatorTest, DiamondDependencyRunsBranchesConcurrently) {
+  // Diamond: 0 fans out to 1 and 2, which join at 3.
+  Simulator sim(Quiet(4, 4));
+  auto out =
+      sim.Run({Task(100), Task(400, 0, {0}), Task(400, 0, {0}),
+               Task(100, 0, {1, 2})});
+  EXPECT_NEAR(out.makespan_ns, 600.0, 1e-6);
+}
+
+TEST(SimulatorTest, HyperThreadsAddOnlyPartialThroughput) {
+  // 8 CPU-bound tasks on 8 logical / 4 physical cores: capacity is
+  // 4 + 0.3*4 = 5.2, so each task runs at 5.2/8 speed.
+  SimConfig c = Quiet(8, 4);
+  Simulator sim(c);
+  std::vector<SimTask> tasks(8, Task(1000));
+  auto out = sim.Run(tasks);
+  EXPECT_NEAR(out.makespan_ns, 1000.0 * 8 / 5.2, 1.0);
+}
+
+TEST(SimulatorTest, MemoryBandwidthSaturationSlowsMemoryBoundTasks) {
+  SimConfig c = Quiet(16, 16);
+  c.mem_streams = 2.0;
+  Simulator sim(c);
+  // 8 fully memory-bound tasks share 2 streams: 4x slowdown.
+  std::vector<SimTask> tasks(8, Task(1000, 1.0));
+  auto out = sim.Run(tasks);
+  EXPECT_NEAR(out.makespan_ns, 4000.0, 1.0);
+  // CPU-bound tasks are unaffected.
+  std::vector<SimTask> cpu(8, Task(1000, 0.0));
+  EXPECT_NEAR(sim.Run(cpu).makespan_ns, 1000.0, 1e-6);
+}
+
+TEST(SimulatorTest, MixedIntensityScalesProportionally) {
+  SimConfig c = Quiet(16, 16);
+  c.mem_streams = 2.0;
+  Simulator sim(c);
+  // mem=0.5: rate = 0.5 + 0.5*(2/4) = 0.75 with four such tasks (sum=2 == streams -> no slowdown).
+  std::vector<SimTask> four(4, Task(1000, 0.5));
+  EXPECT_NEAR(sim.Run(four).makespan_ns, 1000.0, 1e-6);
+  // Eight tasks: sum=4 > 2 -> mem fraction at half speed: rate 0.75.
+  std::vector<SimTask> eight(8, Task(1000, 0.5));
+  EXPECT_NEAR(sim.Run(eight).makespan_ns, 1000.0 / 0.75, 1.0);
+}
+
+TEST(SimulatorTest, NoiseIsDeterministicPerSeedAndSalt) {
+  SimConfig c = Quiet(4, 4);
+  c.noise_sigma = 0.1;
+  Simulator sim(c);
+  std::vector<SimTask> tasks(4, Task(1000));
+  auto a = sim.Run(tasks, 1);
+  auto b = sim.Run(tasks, 1);
+  auto d = sim.Run(tasks, 2);
+  EXPECT_DOUBLE_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_NE(a.makespan_ns, d.makespan_ns);
+}
+
+TEST(SimulatorTest, PeaksInflateWork) {
+  SimConfig c = Quiet(1, 1);
+  c.peak_probability = 1.0;  // every task peaks
+  c.peak_magnitude = 8.0;
+  Simulator sim(c);
+  auto out = sim.Run({Task(1000)});
+  EXPECT_NEAR(out.makespan_ns, 8000.0, 1e-6);
+}
+
+TEST(SimulatorTest, ArrivalsDelayStart) {
+  Simulator sim(Quiet(4, 4));
+  SimTask late = Task(100);
+  late.arrival_ns = 5000;
+  late.instance = 1;
+  auto out = sim.Run({Task(1000), late});
+  EXPECT_NEAR(out.timings[1].start_ns, 5000.0, 1e-6);
+  EXPECT_NEAR(out.instance_response_ns[1], 100.0, 1e-6);
+  EXPECT_NEAR(out.instance_response_ns[0], 1000.0, 1e-6);
+}
+
+TEST(SimulatorTest, UtilizationAccountsIdleCores) {
+  Simulator sim(Quiet(4, 4));
+  auto out = sim.Run({Task(1000)});  // one busy core of four
+  EXPECT_NEAR(out.utilization, 0.25, 1e-6);
+}
+
+TEST(SimulatorTest, PerInstanceResponseTimes) {
+  Simulator sim(Quiet(2, 2));
+  SimTask a = Task(1000);
+  a.instance = 0;
+  SimTask b = Task(500, 0, {0});
+  b.instance = 0;
+  SimTask c2 = Task(300);
+  c2.instance = 1;
+  auto out = sim.Run({a, b, c2});
+  EXPECT_NEAR(out.instance_response_ns[0], 1500.0, 1e-6);
+  EXPECT_NEAR(out.instance_response_ns[1], 300.0, 1e-6);
+}
+
+TEST(SimulatorTest, EmptyTaskListIsFine) {
+  Simulator sim(Quiet(2, 2));
+  auto out = sim.Run({});
+  EXPECT_EQ(out.makespan_ns, 0.0);
+}
+
+TEST(SimulatorTest, FourSocketConfigHasMoreResources) {
+  SimConfig two = SimConfig::TwoSocket32();
+  SimConfig four = SimConfig::FourSocket96();
+  EXPECT_GT(four.logical_cores, two.logical_cores);
+  EXPECT_GT(four.mem_streams, two.mem_streams);
+}
+
+}  // namespace
+}  // namespace apq

@@ -1,0 +1,117 @@
+// Unit tests: columns, slices, tables, catalog.
+#include <gtest/gtest.h>
+
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace apq {
+namespace {
+
+TEST(ColumnTest, Int64Basics) {
+  auto c = Column::MakeInt64("a", {1, 2, 3, 4});
+  EXPECT_EQ(c->size(), 4u);
+  EXPECT_EQ(c->type(), DataType::kInt64);
+  EXPECT_EQ(c->GetInt(2), 3);
+  EXPECT_DOUBLE_EQ(c->GetDouble(3), 4.0);
+  EXPECT_EQ(c->byte_size(), 32u);
+}
+
+TEST(ColumnTest, Float64Basics) {
+  auto c = Column::MakeFloat64("f", {1.5, 2.5});
+  EXPECT_EQ(c->type(), DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(c->GetDouble(0), 1.5);
+  EXPECT_EQ(c->size(), 2u);
+}
+
+TEST(ColumnTest, StringDictionaryEncoding) {
+  auto c = Column::MakeString("s", {"x", "y", "x", "z", "y"});
+  EXPECT_EQ(c->size(), 5u);
+  EXPECT_EQ(c->dictionary().size(), 3u);
+  EXPECT_EQ(c->i64()[0], c->i64()[2]);  // "x" == "x"
+  EXPECT_NE(c->i64()[0], c->i64()[1]);
+  EXPECT_EQ(c->DictString(c->i64()[3]), "z");
+  EXPECT_EQ(c->DictCode("y"), c->i64()[1]);
+  EXPECT_EQ(c->DictCode("missing"), -1);
+}
+
+TEST(ColumnTest, DateStoredAsDays) {
+  auto c = Column::MakeDate("d", {8035, 8036});
+  EXPECT_EQ(c->type(), DataType::kDate);
+  EXPECT_EQ(c->GetInt(1), 8036);
+}
+
+TEST(RowRangeTest, ContainsAndIntersect) {
+  RowRange r{10, 20};
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_TRUE(r.Contains(19));
+  EXPECT_FALSE(r.Contains(20));
+  EXPECT_TRUE(r.Contains(RowRange{12, 18}));
+  EXPECT_FALSE(r.Contains(RowRange{12, 21}));
+  EXPECT_TRUE(r.Overlaps(RowRange{19, 25}));
+  EXPECT_FALSE(r.Overlaps(RowRange{20, 25}));
+  RowRange i = r.Intersect(RowRange{15, 30});
+  EXPECT_EQ(i.begin, 15u);
+  EXPECT_EQ(i.end, 20u);
+  RowRange empty = r.Intersect(RowRange{30, 40});
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(ColumnSliceTest, SplitIsAlignedAndCoversRange) {
+  auto c = Column::MakeInt64("a", std::vector<int64_t>(100, 1));
+  ColumnSlice s{c.get(), {10, 90}};
+  auto [lo, hi] = s.Split();
+  EXPECT_EQ(lo.range.begin, 10u);
+  EXPECT_EQ(lo.range.end, 50u);
+  EXPECT_EQ(hi.range.begin, 50u);
+  EXPECT_EQ(hi.range.end, 90u);
+  EXPECT_TRUE(lo.Valid());
+  EXPECT_TRUE(hi.Valid());
+  // Split at an explicit point.
+  auto [a, b] = s.Split(15);
+  EXPECT_EQ(a.range.size(), 5u);
+  EXPECT_EQ(b.range.size(), 75u);
+}
+
+TEST(TableTest, AddColumnEnforcesRowCount) {
+  Table t("t");
+  EXPECT_TRUE(t.AddColumn(Column::MakeInt64("a", {1, 2, 3})).ok());
+  EXPECT_EQ(t.row_count(), 3u);
+  Status st = t.AddColumn(Column::MakeInt64("b", {1, 2}));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(t.AddColumn(Column::MakeInt64("b", {4, 5, 6})).ok());
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(TableTest, DuplicateColumnRejected) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn(Column::MakeInt64("a", {1})).ok());
+  Status st = t.AddColumn(Column::MakeInt64("a", {2}));
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, LargestTable) {
+  Catalog cat;
+  auto t1 = std::make_shared<Table>("small");
+  ASSERT_TRUE(t1->AddColumn(Column::MakeInt64("a", {1, 2})).ok());
+  auto t2 = std::make_shared<Table>("big");
+  ASSERT_TRUE(
+      t2->AddColumn(Column::MakeInt64("a", std::vector<int64_t>(100, 0))).ok());
+  ASSERT_TRUE(cat.AddTable(t1).ok());
+  ASSERT_TRUE(cat.AddTable(t2).ok());
+  ASSERT_NE(cat.LargestTable(), nullptr);
+  EXPECT_EQ(cat.LargestTable()->name(), "big");
+  EXPECT_EQ(cat.GetTable("missing"), nullptr);
+  EXPECT_FALSE(cat.GetTableChecked("missing").ok());
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status st = Status::Misaligned("boundary");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kMisaligned);
+  EXPECT_NE(st.ToString().find("boundary"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apq

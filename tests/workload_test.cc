@@ -1,0 +1,215 @@
+// Tests for the TPC-H / TPC-DS / skew workload generators and query plans.
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "workload/skew.h"
+#include "workload/tpcds.h"
+#include "workload/tpch.h"
+
+namespace apq {
+namespace {
+
+TEST(TpchGeneratorTest, SchemaAndSizes) {
+  TpchConfig cfg;
+  cfg.lineitem_rows = 10'000;
+  auto cat = Tpch::Generate(cfg);
+  const Table* li = cat->GetTable("lineitem");
+  ASSERT_NE(li, nullptr);
+  EXPECT_EQ(li->row_count(), 10'000u);
+  EXPECT_NE(li->GetColumn("l_shipdate"), nullptr);
+  EXPECT_NE(li->GetColumn("l_extendedprice"), nullptr);
+  EXPECT_EQ(cat->GetTable("orders")->row_count(), cfg.orders_rows());
+  EXPECT_EQ(cat->GetTable("part")->row_count(), cfg.part_rows());
+  EXPECT_EQ(cat->GetTable("nation")->row_count(), 25u);
+  EXPECT_EQ(cat->LargestTable()->name(), "lineitem");
+}
+
+TEST(TpchGeneratorTest, ForeignKeyIntegrity) {
+  TpchConfig cfg;
+  cfg.lineitem_rows = 5'000;
+  auto cat = Tpch::Generate(cfg);
+  const auto& pkey = cat->GetTable("lineitem")->GetColumn("l_partkey")->i64();
+  int64_t parts = static_cast<int64_t>(cat->GetTable("part")->row_count());
+  for (int64_t v : pkey) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, parts);
+  }
+  // Primary keys are dense row indices.
+  const auto& pk = cat->GetTable("part")->GetColumn("p_partkey")->i64();
+  for (size_t i = 0; i < pk.size(); ++i) {
+    ASSERT_EQ(pk[i], static_cast<int64_t>(i));
+  }
+}
+
+TEST(TpchGeneratorTest, DeterministicUnderSeed) {
+  TpchConfig cfg;
+  cfg.lineitem_rows = 2'000;
+  auto a = Tpch::Generate(cfg);
+  auto b = Tpch::Generate(cfg);
+  EXPECT_EQ(a->GetTable("lineitem")->GetColumn("l_shipdate")->i64(),
+            b->GetTable("lineitem")->GetColumn("l_shipdate")->i64());
+  cfg.seed = 99;
+  auto c = Tpch::Generate(cfg);
+  EXPECT_NE(a->GetTable("lineitem")->GetColumn("l_shipdate")->i64(),
+            c->GetTable("lineitem")->GetColumn("l_shipdate")->i64());
+}
+
+TEST(TpchGeneratorTest, ShipdatesInWindow) {
+  TpchConfig cfg;
+  cfg.lineitem_rows = 5'000;
+  auto cat = Tpch::Generate(cfg);
+  for (int64_t d : cat->GetTable("lineitem")->GetColumn("l_shipdate")->i64()) {
+    ASSERT_GE(d, kTpchDate0);
+    ASSERT_LT(d, kTpchDate0 + kTpchDateSpan);
+  }
+}
+
+class TpchQueryTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    TpchConfig cfg;
+    cfg.lineitem_rows = 20'000;
+    cat_ = Tpch::Generate(cfg).get() ? Tpch::Generate(cfg) : nullptr;
+  }
+  static std::shared_ptr<Catalog> cat_;
+};
+std::shared_ptr<Catalog> TpchQueryTest::cat_;
+
+TEST_P(TpchQueryTest, BuildsValidatesAndExecutes) {
+  auto plan = Tpch::Query(*cat_, GetParam());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(plan.ValueOrDie().Validate().ok());
+  Evaluator eval;
+  EvalResult er;
+  Status st = eval.Execute(plan.ValueOrDie(), &er);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GT(er.result.NumRows(), 0u);
+  // Scalar results are positive revenue-like quantities.
+  if (er.result.kind == Intermediate::Kind::kScalar) {
+    EXPECT_GT(er.result.scalar, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest,
+                         ::testing::Values("Q4", "Q6", "Q8", "Q9", "Q14",
+                                           "Q19", "Q22"),
+                         [](const auto& info) { return info.param; });
+
+TEST(TpchQueryTest2, UnknownQueryIsNotFound) {
+  TpchConfig cfg;
+  cfg.lineitem_rows = 1'000;
+  auto cat = Tpch::Generate(cfg);
+  EXPECT_EQ(Tpch::Query(*cat, "Q99").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TpchQueryTest2, Q6SelectivityControlsOutput) {
+  TpchConfig cfg;
+  cfg.lineitem_rows = 20'000;
+  auto cat = Tpch::Generate(cfg);
+  Evaluator eval;
+  auto count_matches = [&](double frac) {
+    auto plan = Tpch::Q6Selectivity(*cat, frac);
+    APQ_CHECK(plan.ok());
+    EvalResult er;
+    APQ_CHECK_OK(eval.Execute(plan.ValueOrDie(), &er));
+    // The select feeding the plan is node 0.
+    return er.metrics[0].tuples_out;
+  };
+  uint64_t low = count_matches(0.1);
+  uint64_t mid = count_matches(0.5);
+  uint64_t all = count_matches(1.0);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, all);
+  EXPECT_NEAR(static_cast<double>(mid) / 20000.0, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(all) / 20000.0, 1.0, 0.01);
+}
+
+TEST(TpcdsGeneratorTest, SchemaAndSkew) {
+  TpcdsConfig cfg;
+  cfg.store_sales_rows = 30'000;
+  auto cat = Tpcds::Generate(cfg);
+  const Table* ss = cat->GetTable("store_sales");
+  ASSERT_NE(ss, nullptr);
+  EXPECT_EQ(ss->row_count(), 30'000u);
+  // Dates are non-decreasing (date-ordered appends).
+  const auto& dates = ss->GetColumn("ss_sold_date_sk")->i64();
+  for (size_t i = 1; i < dates.size(); ++i) {
+    ASSERT_GE(dates[i], dates[i - 1]) << "at " << i;
+  }
+  // Zipfian items: the head items are far more frequent than the tail.
+  const auto& items = ss->GetColumn("ss_item_sk")->i64();
+  uint64_t head = 0, tail = 0;
+  for (int64_t v : items) {
+    if (v < 50) ++head;
+    if (v >= static_cast<int64_t>(cfg.item_rows) - 50) ++tail;
+  }
+  EXPECT_GT(head, tail * 3);
+}
+
+TEST(TpcdsGeneratorTest, SeasonalBurstExists) {
+  TpcdsConfig cfg;
+  cfg.store_sales_rows = 30'000;
+  auto cat = Tpcds::Generate(cfg);
+  const auto& dates =
+      cat->GetTable("store_sales")->GetColumn("ss_sold_date_sk")->i64();
+  // Count rows in the season window (day-of-year >= 320): should be ~40%,
+  // far above the uniform expectation of 45/365 = 12%.
+  uint64_t burst = 0;
+  for (int64_t d : dates) {
+    if (d % 365 >= 320) ++burst;
+  }
+  double frac = static_cast<double>(burst) / dates.size();
+  EXPECT_GT(frac, 0.3);
+}
+
+class TpcdsQueryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TpcdsQueryTest, BuildsValidatesAndExecutes) {
+  TpcdsConfig cfg;
+  cfg.store_sales_rows = 20'000;
+  auto cat = Tpcds::Generate(cfg);
+  auto plan = Tpcds::Query(*cat, GetParam());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(plan.ValueOrDie().Validate().ok());
+  Evaluator eval;
+  EvalResult er;
+  Status st = eval.Execute(plan.ValueOrDie(), &er);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GT(er.result.NumRows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpcdsQueryTest,
+                         ::testing::Values("DS1", "DS2", "DS3", "DS4", "DS5"),
+                         [](const auto& info) { return info.param; });
+
+TEST(SkewGeneratorTest, Fig13Layout) {
+  SkewConfig cfg;
+  cfg.rows = 10'000;
+  auto cat = GenerateSkewed(cfg);
+  const auto& v = cat->GetTable("skewed")->GetColumn("v")->i64();
+  ASSERT_EQ(v.size(), 10'000u);
+  // First half: random values >= clusters.
+  for (size_t i = 0; i < 5'000; ++i) ASSERT_GE(v[i], cfg.clusters);
+  // Second half: five runs of constants 0..4, each 1000 rows.
+  for (size_t i = 5'000; i < 10'000; ++i) {
+    ASSERT_EQ(v[i], static_cast<int64_t>((i - 5'000) / 1'000));
+  }
+}
+
+TEST(SkewGeneratorTest, SelectPlanMatchesRequestedSkew) {
+  SkewConfig cfg;
+  cfg.rows = 10'000;
+  auto cat = GenerateSkewed(cfg);
+  Evaluator eval;
+  for (int pct : {10, 30, 50}) {
+    auto plan = SkewedSelectPlan(*cat, cfg, pct);
+    ASSERT_TRUE(plan.ok());
+    EvalResult er;
+    ASSERT_TRUE(eval.Execute(plan.ValueOrDie(), &er).ok());
+    double frac = static_cast<double>(er.metrics[0].tuples_out) / cfg.rows;
+    EXPECT_NEAR(frac, pct / 100.0, 0.02) << "pct=" << pct;
+  }
+}
+
+}  // namespace
+}  // namespace apq
