@@ -18,7 +18,9 @@ int main() {
          "lineitem=" + std::to_string(cfg.lineitem_rows) +
              " seed=" + std::to_string(cfg.seed) + " sim=2x16c/32t");
   auto cat = Tpch::Generate(cfg);
-  Engine engine(PaperEngine());
+  EngineConfig ecfg = PaperEngine();
+  ecfg.exec_threads = 0;  // hardware truth: one worker per hardware thread
+  Engine engine(ecfg);
 
   // Background: a mixed bag of heuristic plans invoked by 32 clients.
   std::vector<QueryPlan> bg_plans;
@@ -36,26 +38,32 @@ int main() {
   auto bg = engine.BuildBackground(mix, 32, /*spacing_ns=*/0.4e6);
   APQ_CHECK(bg.ok());
 
+  // Simulated times drive the paper shape; the "wall" column is hardware
+  // truth: the evaluator's real wall-clock on this host, with plan nodes
+  // executed on one worker per hardware thread (exec_threads = 0 above).
   TablePrinter table({"query", "dop 8 (ms)", "dop 16 (ms)", "dop 32 (ms)",
-                      "best dop"});
+                      "best dop", "wall@32 (ms)"});
   for (const char* q : {"Q9", "Q8", "Q19"}) {
     auto serial = Tpch::Query(*cat, q);
     APQ_CHECK(serial.ok());
     std::vector<std::string> row = {q};
     double best = 1e300;
     int best_dop = 0;
+    double wall32 = 0;
     for (int dop : {8, 16, 32}) {
       auto res = engine.RunHeuristic(serial.ValueOrDie(), dop,
                                      bg.ValueOrDie(), /*seed_salt=*/dop);
       APQ_CHECK(res.ok());
       double t = res.ValueOrDie().time_ns;
       row.push_back(Ms(t));
+      if (dop == 32) wall32 = res.ValueOrDie().wall_ns;
       if (t < best) {
         best = t;
         best_dop = dop;
       }
     }
     row.push_back(std::to_string(best_dop));
+    row.push_back(Ms(wall32));
     table.AddRow(row);
   }
   table.Print();

@@ -65,6 +65,7 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
     AdaptiveRun rec;
     rec.run = run;
     rec.time_ns = time;
+    rec.wall_ns = er.wall_ns;
     rec.utilization = profile.utilization;
     rec.plan_stats = plan.Stats();
     out.runs.push_back(rec);
@@ -105,6 +106,8 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
   }
   out.gme_plan = plan_history[out.gme_run].Clone();
   out.gme_profile = profile_history[out.gme_run];
+  out.serial_wall_ns = out.runs[0].wall_ns;
+  out.gme_wall_ns = out.runs[out.gme_run].wall_ns;
   return out;
 }
 

@@ -21,7 +21,8 @@ namespace apq {
 /// \brief One adaptive run's record.
 struct AdaptiveRun {
   int run = 0;
-  double time_ns = 0;          // response time of this invocation
+  double time_ns = 0;          // response time of this invocation (simulated)
+  double wall_ns = 0;          // hardware truth: evaluator wall-clock time
   double utilization = 0;      // multi-core utilization of this run
   int mutated_node = -1;       // operator parallelized after this run
   std::string mutation;        // basic / medium / advanced / none
@@ -32,6 +33,8 @@ struct AdaptiveRun {
 struct AdaptiveOutcome {
   std::vector<AdaptiveRun> runs;   // runs[0] = serial plan
   double serial_time_ns = 0;
+  double serial_wall_ns = 0;       // wall-clock of the serial-plan evaluation
+  double gme_wall_ns = 0;          // wall-clock of the GME run's evaluation
   double gme_time_ns = 0;
   int gme_run = -1;
   /// Raw minimum over all runs (may differ from the GME when late

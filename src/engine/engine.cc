@@ -19,6 +19,7 @@ StatusOr<QueryRunResult> Engine::RunPlan(const QueryPlan& plan,
 
   QueryRunResult out;
   out.time_ns = sim.instance_response_ns[0];
+  out.wall_ns = er.wall_ns;
   out.result = er.result;
   out.stats = plan.Stats();
   std::vector<SimTaskTiming> own_timings(sim.timings.begin(),

@@ -26,6 +26,11 @@ struct EngineConfig {
   MutatorConfig mutator;
   int hp_dop = 32;                 // heuristic parallelizer default DOP
   bool verify_results = false;     // cross-check every adaptive run
+  /// Real execution backend: worker threads for plan-node execution
+  /// (1 = serial, 0 = one per hardware thread) and vectorized kernels.
+  /// Simulated timings are unaffected; wall_ns fields report hardware truth.
+  int exec_threads = 1;
+  bool use_kernels = true;
 
   EngineConfig() { convergence.cores = sim.logical_cores; }
   static EngineConfig WithSim(SimConfig s) {
@@ -39,7 +44,8 @@ struct EngineConfig {
 
 /// \brief Result of executing one plan once on the simulated machine.
 struct QueryRunResult {
-  double time_ns = 0;       // response time
+  double time_ns = 0;       // response time (simulated machine)
+  double wall_ns = 0;       // hardware truth: evaluator wall-clock time
   double utilization = 0;   // multi-core utilization during the run
   Intermediate result;      // exact query result
   RunProfile profile;
@@ -51,6 +57,7 @@ class Engine {
  public:
   explicit Engine(EngineConfig config = EngineConfig())
       : config_(config),
+        evaluator_(ExecOptions{config.use_kernels, config.exec_threads}),
         cost_model_(config.cost),
         simulator_(config.sim) {}
 

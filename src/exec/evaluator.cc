@@ -1,23 +1,16 @@
 #include "exec/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <numeric>
 #include <unordered_map>
+
+#include "exec/kernels.h"
 
 namespace apq {
 
 namespace {
-
-/// Precomputes which dictionary codes match a LIKE pattern (substring).
-std::vector<uint8_t> MatchDictionary(const Column& col, const Predicate& p) {
-  const auto& dict = col.dictionary();
-  std::vector<uint8_t> match(dict.size(), 0);
-  for (size_t i = 0; i < dict.size(); ++i) {
-    bool hit = dict[i].find(p.pattern) != std::string::npos;
-    match[i] = (hit != p.anti) ? 1 : 0;
-  }
-  return match;
-}
 
 bool EvalPredI64(const Predicate& p, int64_t v) {
   switch (p.kind) {
@@ -26,15 +19,6 @@ bool EvalPredI64(const Predicate& p, int64_t v) {
     case Predicate::Kind::kEqI64: return v == p.lo;
     default: return false;
   }
-}
-
-Status InputOf(const EvalResult& ctx, int id, const Intermediate** out) {
-  auto it = ctx.intermediates.find(id);
-  if (it == ctx.intermediates.end()) {
-    return Status::Internal("input X_" + std::to_string(id) + " not evaluated");
-  }
-  *out = &it->second;
-  return Status::OK();
 }
 
 ValueVec MakeVecLike(const Column& col) {
@@ -52,14 +36,37 @@ void GatherInto(const Column& col, oid row, ValueVec* vals) {
   }
 }
 
+double NowNs() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status InputSlot(const std::vector<Intermediate>& slots,
+                 const std::vector<uint8_t>& done, int id,
+                 const Intermediate** out) {
+  if (id < 0 || id >= static_cast<int>(slots.size()) || !done[id]) {
+    return Status::Internal("input X_" + std::to_string(id) + " not evaluated");
+  }
+  *out = &slots[id];
+  return Status::OK();
+}
+
 }  // namespace
 
-const std::shared_ptr<HashIndex>& Evaluator::GetOrBuildHash(const Column& column,
-                                                            OpMetrics* m) {
+#define APQ_INPUT_OF(ctx, id, out) \
+  APQ_RETURN_NOT_OK(InputSlot(*(ctx).slots, *(ctx).done, (id), (out)))
+
+std::shared_ptr<HashIndex> Evaluator::GetOrBuildHash(const Column& column) {
+  // One mutex serializes lookups and builds. Builds happen at most once per
+  // column; concurrent join clones probing the same inner block until the
+  // first build completes (exactly the sharing MonetDB's BAT hash gives).
+  std::lock_guard<std::mutex> lock(hash_mu_);
   auto it = hash_cache_.find(&column);
   if (it != hash_cache_.end()) return it->second;
   auto idx = HashIndex::Build(column, column.full_range());
-  m->hash_build_rows += idx->num_keys();
+  hash_builds_.emplace_back(&column, idx->num_keys());
   auto [pos, inserted] = hash_cache_.emplace(&column, std::move(idx));
   (void)inserted;
   return pos->second;
@@ -69,40 +76,187 @@ Status Evaluator::Execute(const QueryPlan& plan, EvalResult* out) {
   APQ_RETURN_NOT_OK(plan.Validate());
   out->intermediates.clear();
   out->metrics.clear();
-  auto order = plan.TopologicalOrder();
-  if (!order.ok()) return order.status();
-  for (int id : order.ValueOrDie()) {
-    const PlanNode& node = plan.node(id);
-    Intermediate result;
-    OpMetrics m;
-    m.node_id = id;
-    m.kind = node.kind;
-    APQ_RETURN_NOT_OK(ExecNode(plan, node, out, &result, &m));
-    out->metrics.push_back(m);
-    out->intermediates.emplace(id, std::move(result));
+  auto order_or = plan.TopologicalOrder();
+  if (!order_or.ok()) return order_or.status();
+  const std::vector<int>& order = order_or.ValueOrDie();
+
+  std::vector<Intermediate> slots(plan.num_nodes());
+  std::vector<uint8_t> done(plan.num_nodes(), 0);
+  std::vector<OpMetrics> metrics(order.size());
+
+  {
+    std::lock_guard<std::mutex> lock(hash_mu_);
+    hash_builds_.clear();
   }
+  double t0 = NowNs();
+  if (options_.num_threads > 1) {
+    APQ_RETURN_NOT_OK(ExecuteParallel(plan, order, &slots, &done, &metrics));
+  } else {
+    APQ_RETURN_NOT_OK(ExecuteSerial(plan, order, &slots, &done, &metrics));
+  }
+  out->wall_ns = NowNs() - t0;
+
+  // Attribute hash-build cost to the topologically-first join over each
+  // built inner, independent of which worker actually built it.
+  {
+    std::lock_guard<std::mutex> lock(hash_mu_);
+    for (const auto& [col, rows] : hash_builds_) {
+      for (size_t i = 0; i < order.size(); ++i) {
+        const PlanNode& node = plan.node(order[i]);
+        if (node.kind == OpKind::kJoin && node.column2 == col) {
+          metrics[i].hash_build_rows += rows;
+          break;
+        }
+      }
+    }
+    hash_builds_.clear();
+  }
+
+  out->metrics = std::move(metrics);
   const PlanNode& res = plan.node(plan.result_id());
-  out->result = out->intermediates.at(res.inputs[0]);
+  out->result = slots[res.inputs[0]];
+  for (int id : order) {
+    out->intermediates.emplace(id, std::move(slots[id]));
+  }
   return Status::OK();
 }
 
+Status Evaluator::ExecuteSerial(const QueryPlan& plan,
+                                const std::vector<int>& order,
+                                std::vector<Intermediate>* slots,
+                                std::vector<uint8_t>* done,
+                                std::vector<OpMetrics>* metrics) {
+  ExecContext ctx{slots, done};
+  for (size_t i = 0; i < order.size(); ++i) {
+    int id = order[i];
+    const PlanNode& node = plan.node(id);
+    OpMetrics& m = (*metrics)[i];
+    m.node_id = id;
+    m.kind = node.kind;
+    APQ_RETURN_NOT_OK(ExecNode(plan, node, ctx, &(*slots)[id], &m));
+    (*done)[id] = 1;
+  }
+  return Status::OK();
+}
+
+Status Evaluator::ExecuteParallel(const QueryPlan& plan,
+                                  const std::vector<int>& order,
+                                  std::vector<Intermediate>* slots,
+                                  std::vector<uint8_t>* done,
+                                  std::vector<OpMetrics>* metrics) {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+
+  const int n = plan.num_nodes();
+  // Dataflow bookkeeping over reachable nodes. Duplicate inputs (e.g. a map
+  // of x with itself) contribute one pending count per edge.
+  std::vector<int> topo_pos(n, -1);
+  for (size_t i = 0; i < order.size(); ++i) topo_pos[order[i]] = static_cast<int>(i);
+  std::vector<std::vector<int>> consumers(n);
+  std::vector<int> pending(n, 0);
+  for (int id : order) {
+    for (int in : plan.node(id).inputs) {
+      consumers[in].push_back(id);
+      ++pending[id];
+    }
+  }
+
+  struct Control {
+    std::mutex mu;
+    std::condition_variable cv;
+    Status error = Status::OK();
+    bool failed = false;
+    size_t remaining = 0;   // reachable nodes not yet completed
+    int in_flight = 0;      // tasks submitted but not finished
+  } ctl;
+  ctl.remaining = order.size();
+
+  ExecContext ctx{slots, done};
+
+  // run_node executes one ready node on a worker, then (under the control
+  // lock) retires it and collects consumers that became ready. All cross-
+  // thread visibility of slots/done flows through ctl.mu: a consumer is only
+  // scheduled after its producers published their slots under the lock.
+  std::function<void(int)> schedule;
+  std::function<void(int)> run_node = [&](int id) {
+    bool skip;
+    {
+      std::lock_guard<std::mutex> lock(ctl.mu);
+      skip = ctl.failed;
+    }
+    Status st = Status::OK();
+    Intermediate result;
+    OpMetrics m;
+    if (!skip) {
+      const PlanNode& node = plan.node(id);
+      m.node_id = id;
+      m.kind = node.kind;
+      st = ExecNode(plan, node, ctx, &result, &m);
+    }
+    std::vector<int> ready;
+    {
+      std::lock_guard<std::mutex> lock(ctl.mu);
+      --ctl.in_flight;
+      if (!skip && st.ok()) {
+        (*slots)[id] = std::move(result);
+        (*metrics)[topo_pos[id]] = m;
+        (*done)[id] = 1;
+        --ctl.remaining;
+        if (!ctl.failed) {
+          for (int c : consumers[id]) {
+            if (--pending[c] == 0) ready.push_back(c);
+          }
+        }
+      } else if (!skip && !ctl.failed) {
+        ctl.failed = true;
+        ctl.error = st;
+      }
+      ctl.in_flight += static_cast<int>(ready.size());
+      // Notify while holding the lock: the waiter owns ctl's stack frame and
+      // may destroy it the moment it observes the predicate, so an unlocked
+      // notify could touch a dead condition_variable.
+      if ((ctl.remaining == 0 || ctl.failed) && ctl.in_flight == 0) {
+        ctl.cv.notify_all();
+      }
+    }
+    for (int c : ready) schedule(c);
+  };
+  schedule = [&](int id) { pool_->Submit([&run_node, id] { run_node(id); }); };
+
+  std::vector<int> roots;
+  for (int id : order) {
+    if (pending[id] == 0) roots.push_back(id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctl.mu);
+    ctl.in_flight = static_cast<int>(roots.size());
+  }
+  for (int id : roots) schedule(id);
+
+  std::unique_lock<std::mutex> lock(ctl.mu);
+  ctl.cv.wait(lock, [&] {
+    return (ctl.remaining == 0 || ctl.failed) && ctl.in_flight == 0;
+  });
+  return ctl.failed ? ctl.error : Status::OK();
+}
+
 Status Evaluator::ExecNode(const QueryPlan& plan, const PlanNode& node,
-                           EvalResult* out, Intermediate* result, OpMetrics* m) {
+                           const ExecContext& ctx, Intermediate* result,
+                           OpMetrics* m) {
   (void)plan;
   switch (node.kind) {
-    case OpKind::kSelect: return ExecSelect(node, *out, result, m);
-    case OpKind::kFetchJoin: return ExecFetchJoin(node, *out, result, m);
-    case OpKind::kJoin: return ExecJoin(node, *out, result, m);
-    case OpKind::kGroupBy: return ExecGroupBy(node, *out, result, m);
-    case OpKind::kAggregate: return ExecAggregate(node, *out, result, m);
-    case OpKind::kAggrMerge: return ExecAggrMerge(node, *out, result, m);
-    case OpKind::kExchangeUnion: return ExecUnion(node, *out, result, m);
-    case OpKind::kMap: return ExecMap(node, *out, result, m);
+    case OpKind::kSelect: return ExecSelect(node, ctx, result, m);
+    case OpKind::kFetchJoin: return ExecFetchJoin(node, ctx, result, m);
+    case OpKind::kJoin: return ExecJoin(node, ctx, result, m);
+    case OpKind::kGroupBy: return ExecGroupBy(node, ctx, result, m);
+    case OpKind::kAggregate: return ExecAggregate(node, ctx, result, m);
+    case OpKind::kAggrMerge: return ExecAggrMerge(node, ctx, result, m);
+    case OpKind::kExchangeUnion: return ExecUnion(node, ctx, result, m);
+    case OpKind::kMap: return ExecMap(node, ctx, result, m);
     case OpKind::kSort:
-    case OpKind::kTopN: return ExecSort(node, *out, result, m);
+    case OpKind::kTopN: return ExecSort(node, ctx, result, m);
     case OpKind::kResult: {
       const Intermediate* in;
-      APQ_RETURN_NOT_OK(InputOf(*out, node.inputs[0], &in));
+      APQ_INPUT_OF(ctx, node.inputs[0], &in);
       *result = *in;
       return Status::OK();
     }
@@ -110,7 +264,7 @@ Status Evaluator::ExecNode(const QueryPlan& plan, const PlanNode& node,
   return Status::Unsupported("unknown op kind");
 }
 
-Status Evaluator::ExecSelect(const PlanNode& node, const EvalResult& ctx,
+Status Evaluator::ExecSelect(const PlanNode& node, const ExecContext& ctx,
                              Intermediate* result, OpMetrics* m) {
   const Column& col = *node.column;
   RowRange range = node.EffectiveRange();
@@ -124,46 +278,60 @@ Status Evaluator::ExecSelect(const PlanNode& node, const EvalResult& ctx,
       return Status::InvalidArgument("LIKE on non-string column '" + col.name() +
                                      "'");
     }
-    like_match = MatchDictionary(col, node.pred);
+    like_match = BuildLikeMatch(col, node.pred);
   }
-  bool is_f64 = col.type() == DataType::kFloat64;
 
-  auto test = [&](oid row) -> bool {
-    if (is_like) return like_match[col.i64()[row]] != 0;
-    if (is_f64) {
-      if (node.pred.kind == Predicate::Kind::kRangeF64) {
-        double v = col.f64()[row];
-        return v >= node.pred.flo && v <= node.pred.fhi;
-      }
-      return EvalPredI64(node.pred, static_cast<int64_t>(col.f64()[row]));
-    }
-    if (node.pred.kind == Predicate::Kind::kRangeF64) {
-      double v = static_cast<double>(col.i64()[row]);
-      return v >= node.pred.flo && v <= node.pred.fhi;
-    }
-    return EvalPredI64(node.pred, col.i64()[row]);
-  };
-
+  // Candidate-list form (algebra.subselect with candidates). Candidate
+  // scanning is sequential; the value lookups are random gathers into this
+  // clone's slice.
+  const Intermediate* in = nullptr;
   if (!node.inputs.empty()) {
-    // Candidate-list form (algebra.subselect with candidates). Candidate
-    // scanning is sequential; the value lookups are random gathers into this
-    // clone's slice.
-    const Intermediate* in;
-    APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &in));
+    APQ_INPUT_OF(ctx, node.inputs[0], &in);
     if (in->kind != Intermediate::Kind::kRowIds) {
       return Status::InvalidArgument("select candidates must be rowids");
     }
     m->tuples_in = in->rowids.size();
-    for (oid row : in->rowids) {
-      if (!range.Contains(row)) continue;  // boundary clip (Fig 9 adjust)
-      ++m->random_accesses;
-      if (test(row)) result->rowids.push_back(row);
-    }
     m->random_working_set = range.size() * DataTypeWidth(col.type());
   } else {
     m->tuples_in = range.size();
-    for (oid row = range.begin; row < range.end; ++row) {
-      if (test(row)) result->rowids.push_back(row);
+  }
+
+  if (options_.use_kernels) {
+    if (in) {
+      SelectCandidates(col, range, node.pred, &like_match, in->rowids,
+                       &result->rowids, &m->random_accesses);
+    } else {
+      SelectDense(col, range, node.pred, &like_match, &result->rowids);
+    }
+  } else {
+    // Scalar reference path: per-row lambda re-dispatching on kind and type.
+    bool is_f64 = col.type() == DataType::kFloat64;
+    auto test = [&](oid row) -> bool {
+      if (is_like) return like_match[col.i64()[row]] != 0;
+      if (is_f64) {
+        if (node.pred.kind == Predicate::Kind::kRangeF64) {
+          double v = col.f64()[row];
+          return v >= node.pred.flo && v <= node.pred.fhi;
+        }
+        return EvalPredI64(node.pred, static_cast<int64_t>(col.f64()[row]));
+      }
+      if (node.pred.kind == Predicate::Kind::kRangeF64) {
+        double v = static_cast<double>(col.i64()[row]);
+        return v >= node.pred.flo && v <= node.pred.fhi;
+      }
+      return EvalPredI64(node.pred, col.i64()[row]);
+    };
+
+    if (in) {
+      for (oid row : in->rowids) {
+        if (!range.Contains(row)) continue;  // boundary clip (Fig 9 adjust)
+        ++m->random_accesses;
+        if (test(row)) result->rowids.push_back(row);
+      }
+    } else {
+      for (oid row = range.begin; row < range.end; ++row) {
+        if (test(row)) result->rowids.push_back(row);
+      }
     }
   }
   m->tuples_out = result->rowids.size();
@@ -172,11 +340,11 @@ Status Evaluator::ExecSelect(const PlanNode& node, const EvalResult& ctx,
   return Status::OK();
 }
 
-Status Evaluator::ExecFetchJoin(const PlanNode& node, const EvalResult& ctx,
+Status Evaluator::ExecFetchJoin(const PlanNode& node, const ExecContext& ctx,
                                 Intermediate* result, OpMetrics* m) {
   const Column& col = *node.column;
   const Intermediate* in;
-  APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &in));
+  APQ_INPUT_OF(ctx, node.inputs[0], &in);
   RowRange range = node.EffectiveRange();
 
   const std::vector<oid>* ids = nullptr;
@@ -201,22 +369,29 @@ Status Evaluator::ExecFetchJoin(const PlanNode& node, const EvalResult& ctx,
   // is a misalignment error; under kAdjust the boundaries are clipped and the
   // sibling clones (covering the neighbouring slices) produce the rest.
   bool sliced = node.has_slice;
-  for (oid row : *ids) {
-    if (row >= col.size()) {
-      return Status::Misaligned("fetchjoin rowid " + std::to_string(row) +
-                                " beyond column '" + col.name() + "' size " +
-                                std::to_string(col.size()));
-    }
-    if (sliced && !range.Contains(row)) {
-      if (node.align == AlignPolicy::kStrict) {
-        return Status::Misaligned(
-            "fetchjoin rowid " + std::to_string(row) + " outside slice " +
-            range.ToString() + " of '" + col.name() + "'");
+  if (options_.use_kernels) {
+    APQ_RETURN_NOT_OK(GatherRows(col, *ids, range, sliced, node.align,
+                                 &result->head, &result->values));
+  } else {
+    result->head.reserve(ids->size());
+    result->values.Reserve(ids->size());
+    for (oid row : *ids) {
+      if (row >= col.size()) {
+        return Status::Misaligned("fetchjoin rowid " + std::to_string(row) +
+                                  " beyond column '" + col.name() + "' size " +
+                                  std::to_string(col.size()));
       }
-      continue;  // kAdjust: clip
+      if (sliced && !range.Contains(row)) {
+        if (node.align == AlignPolicy::kStrict) {
+          return Status::Misaligned(
+              "fetchjoin rowid " + std::to_string(row) + " outside slice " +
+              range.ToString() + " of '" + col.name() + "'");
+        }
+        continue;  // kAdjust: clip
+      }
+      result->head.push_back(row);
+      GatherInto(col, row, &result->values);
     }
-    result->head.push_back(row);
-    GatherInto(col, row, &result->values);
   }
   m->tuples_out = result->values.size();
   // Scanning the candidate list is sequential (tuples_in); only the in-slice
@@ -228,23 +403,24 @@ Status Evaluator::ExecFetchJoin(const PlanNode& node, const EvalResult& ctx,
   return Status::OK();
 }
 
-Status Evaluator::ExecJoin(const PlanNode& node, const EvalResult& ctx,
+Status Evaluator::ExecJoin(const PlanNode& node, const ExecContext& ctx,
                            Intermediate* result, OpMetrics* m) {
   const Column& inner = *node.column2;
-  const auto& hash = GetOrBuildHash(inner, m);
+  const std::shared_ptr<HashIndex> hash = GetOrBuildHash(inner);
   result->kind = Intermediate::Kind::kPairs;
 
+  // Per-probe matches are appended to rrowids by the index; the outer row id
+  // is then replicated in one batched fill instead of per-match push_backs.
   auto probe = [&](int64_t key, oid outer_row) {
     size_t before = result->rrowids.size();
     hash->Probe(key, &result->rrowids);
-    for (size_t i = before; i < result->rrowids.size(); ++i) {
-      result->rowids.push_back(outer_row);
-    }
+    result->rowids.insert(result->rowids.end(),
+                          result->rrowids.size() - before, outer_row);
   };
 
   if (!node.inputs.empty()) {
     const Intermediate* in;
-    APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &in));
+    APQ_INPUT_OF(ctx, node.inputs[0], &in);
     if (in->kind == Intermediate::Kind::kValues) {
       // Probe materialized keys; head gives outer row ids.
       uint64_t n = in->values.size();
@@ -252,6 +428,8 @@ Status Evaluator::ExecJoin(const PlanNode& node, const EvalResult& ctx,
       RowRange range = node.has_slice ? node.slice : in->origin;
       result->origin = range;
       m->tuples_in = n;
+      result->rowids.reserve(n);
+      result->rrowids.reserve(n);
       for (uint64_t i = 0; i < n; ++i) {
         oid outer_row = has_head ? in->head[i] : in->origin.begin + i;
         if (node.has_slice && !range.Contains(outer_row)) continue;
@@ -265,6 +443,8 @@ Status Evaluator::ExecJoin(const PlanNode& node, const EvalResult& ctx,
       RowRange range = node.has_slice ? node.slice : in->origin;
       result->origin = range;
       m->tuples_in = in->rowids.size();
+      result->rowids.reserve(in->rowids.size());
+      result->rrowids.reserve(in->rowids.size());
       for (oid row : in->rowids) {
         if (node.has_slice && !range.Contains(row)) continue;
         probe(outer.i64()[row], row);
@@ -278,6 +458,8 @@ Status Evaluator::ExecJoin(const PlanNode& node, const EvalResult& ctx,
     RowRange range = node.EffectiveRange();
     result->origin = range;
     m->tuples_in = range.size();
+    result->rowids.reserve(range.size());
+    result->rrowids.reserve(range.size());
     for (oid row = range.begin; row < range.end; ++row) {
       probe(outer.i64()[row], row);
     }
@@ -290,7 +472,7 @@ Status Evaluator::ExecJoin(const PlanNode& node, const EvalResult& ctx,
   return Status::OK();
 }
 
-Status Evaluator::ExecGroupBy(const PlanNode& node, const EvalResult& ctx,
+Status Evaluator::ExecGroupBy(const PlanNode& node, const ExecContext& ctx,
                               Intermediate* result, OpMetrics* m) {
   result->kind = Intermediate::Kind::kGroups;
   std::unordered_map<int64_t, int64_t> key_to_gid;
@@ -304,7 +486,7 @@ Status Evaluator::ExecGroupBy(const PlanNode& node, const EvalResult& ctx,
 
   if (!node.inputs.empty()) {
     const Intermediate* in;
-    APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &in));
+    APQ_INPUT_OF(ctx, node.inputs[0], &in);
     if (in->kind != Intermediate::Kind::kValues) {
       return Status::InvalidArgument("groupby input must be values");
     }
@@ -314,6 +496,7 @@ Status Evaluator::ExecGroupBy(const PlanNode& node, const EvalResult& ctx,
     result->head = in->head;
     uint64_t n = in->values.size();
     m->tuples_in = n;
+    result->group_ids.reserve(n);
     for (uint64_t i = 0; i < n; ++i) ingest(in->values.AsInt(i));
   } else {
     const Column& col = *node.column;
@@ -322,6 +505,7 @@ Status Evaluator::ExecGroupBy(const PlanNode& node, const EvalResult& ctx,
     result->group_keys.type = DataType::kInt64;
     result->origin = range;
     m->tuples_in = range.size();
+    result->group_ids.reserve(range.size());
     for (oid row = range.begin; row < range.end; ++row) ingest(col.i64()[row]);
   }
   m->tuples_out = result->group_ids.size();
@@ -332,16 +516,16 @@ Status Evaluator::ExecGroupBy(const PlanNode& node, const EvalResult& ctx,
   return Status::OK();
 }
 
-Status Evaluator::ExecAggregate(const PlanNode& node, const EvalResult& ctx,
+Status Evaluator::ExecAggregate(const PlanNode& node, const ExecContext& ctx,
                                 Intermediate* result, OpMetrics* m) {
   const Intermediate* first;
-  APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &first));
+  APQ_INPUT_OF(ctx, node.inputs[0], &first);
 
   if (first->kind == Intermediate::Kind::kGroups) {
     // Grouped aggregation.
     const Intermediate* vals = nullptr;
     if (node.inputs.size() == 2) {
-      APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[1], &vals));
+      APQ_INPUT_OF(ctx, node.inputs[1], &vals);
       if (vals->kind != Intermediate::Kind::kValues) {
         return Status::InvalidArgument("grouped aggregate values input invalid");
       }
@@ -432,10 +616,10 @@ Status Evaluator::ExecAggregate(const PlanNode& node, const EvalResult& ctx,
   return Status::OK();
 }
 
-Status Evaluator::ExecAggrMerge(const PlanNode& node, const EvalResult& ctx,
+Status Evaluator::ExecAggrMerge(const PlanNode& node, const ExecContext& ctx,
                                 Intermediate* result, OpMetrics* m) {
   const Intermediate* in;
-  APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &in));
+  APQ_INPUT_OF(ctx, node.inputs[0], &in);
   if (in->kind != Intermediate::Kind::kGroupedAgg) {
     return Status::InvalidArgument("aggrmerge input must be grouped aggregates");
   }
@@ -489,13 +673,13 @@ Status Evaluator::ExecAggrMerge(const PlanNode& node, const EvalResult& ctx,
   return Status::OK();
 }
 
-Status Evaluator::ExecUnion(const PlanNode& node, const EvalResult& ctx,
+Status Evaluator::ExecUnion(const PlanNode& node, const ExecContext& ctx,
                             Intermediate* result, OpMetrics* m) {
   std::vector<const Intermediate*> ins;
   ins.reserve(node.inputs.size());
   for (int id : node.inputs) {
     const Intermediate* in;
-    APQ_RETURN_NOT_OK(InputOf(ctx, id, &in));
+    APQ_INPUT_OF(ctx, id, &in);
     ins.push_back(in);
   }
   Intermediate::Kind kind = ins[0]->kind;
@@ -526,6 +710,9 @@ Status Evaluator::ExecUnion(const PlanNode& node, const EvalResult& ctx,
     case Intermediate::Kind::kRowIds: {
       result->kind = kind;
       result->origin = ins[0]->origin;
+      size_t total = 0;
+      for (const auto* in : ins) total += in->rowids.size();
+      result->rowids.reserve(total);
       for (const auto* in : ins) {
         result->rowids.insert(result->rowids.end(), in->rowids.begin(),
                               in->rowids.end());
@@ -537,6 +724,10 @@ Status Evaluator::ExecUnion(const PlanNode& node, const EvalResult& ctx,
     case Intermediate::Kind::kPairs: {
       result->kind = kind;
       result->origin = ins[0]->origin;
+      size_t total = 0;
+      for (const auto* in : ins) total += in->rowids.size();
+      result->rowids.reserve(total);
+      result->rrowids.reserve(total);
       for (const auto* in : ins) {
         result->rowids.insert(result->rowids.end(), in->rowids.begin(),
                               in->rowids.end());
@@ -552,6 +743,13 @@ Status Evaluator::ExecUnion(const PlanNode& node, const EvalResult& ctx,
       result->values.type = ins[0]->values.type;
       result->values.dict = ins[0]->values.dict;
       result->origin = ins[0]->origin;
+      size_t total = 0, heads = 0;
+      for (const auto* in : ins) {
+        total += in->values.size();
+        heads += in->head.size();
+      }
+      result->values.Reserve(total);
+      result->head.reserve(heads);
       for (const auto* in : ins) {
         result->values.Append(in->values);
         result->head.insert(result->head.end(), in->head.begin(),
@@ -619,10 +817,10 @@ Status Evaluator::ExecUnion(const PlanNode& node, const EvalResult& ctx,
   return Status::OK();
 }
 
-Status Evaluator::ExecMap(const PlanNode& node, const EvalResult& ctx,
+Status Evaluator::ExecMap(const PlanNode& node, const ExecContext& ctx,
                           Intermediate* result, OpMetrics* m) {
   const Intermediate* a;
-  APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &a));
+  APQ_INPUT_OF(ctx, node.inputs[0], &a);
 
   // Scalar arithmetic (calc.* over single values, e.g. Q14's final ratio).
   if (a->kind == Intermediate::Kind::kScalar ||
@@ -631,7 +829,7 @@ Status Evaluator::ExecMap(const PlanNode& node, const EvalResult& ctx,
     double y = node.map_const;
     if (node.inputs.size() == 2) {
       const Intermediate* b2;
-      APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[1], &b2));
+      APQ_INPUT_OF(ctx, node.inputs[1], &b2);
       if (b2->kind == Intermediate::Kind::kScalar) y = b2->scalar;
       else if (b2->kind == Intermediate::Kind::kGroupedAgg &&
                b2->agg_vals.size() == 1) y = b2->agg_vals[0];
@@ -658,7 +856,7 @@ Status Evaluator::ExecMap(const PlanNode& node, const EvalResult& ctx,
   uint64_t n = a->values.size();
   const Intermediate* b = nullptr;
   if (node.inputs.size() == 2) {
-    APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[1], &b));
+    APQ_INPUT_OF(ctx, node.inputs[1], &b);
     if (b->kind != Intermediate::Kind::kValues || b->values.size() != n) {
       return Status::Misaligned("binary map over misaligned inputs (" +
                                 std::to_string(n) + " vs " +
@@ -678,7 +876,7 @@ Status Evaluator::ExecMap(const PlanNode& node, const EvalResult& ctx,
     if (a->values.dict == nullptr) {
       return Status::InvalidArgument("like-flag map needs dictionary values");
     }
-    like_match = MatchDictionary(*a->values.dict, node.pred);
+    like_match = BuildLikeMatch(*a->values.dict, node.pred);
   }
 
   for (uint64_t i = 0; i < n; ++i) {
@@ -716,10 +914,10 @@ Status Evaluator::ExecMap(const PlanNode& node, const EvalResult& ctx,
   return Status::OK();
 }
 
-Status Evaluator::ExecSort(const PlanNode& node, const EvalResult& ctx,
+Status Evaluator::ExecSort(const PlanNode& node, const ExecContext& ctx,
                            Intermediate* result, OpMetrics* m) {
   const Intermediate* in;
-  APQ_RETURN_NOT_OK(InputOf(ctx, node.inputs[0], &in));
+  APQ_INPUT_OF(ctx, node.inputs[0], &in);
   if (in->kind != Intermediate::Kind::kValues &&
       in->kind != Intermediate::Kind::kGroupedAgg) {
     return Status::InvalidArgument("sort input must be values or grouped aggs");
@@ -740,6 +938,9 @@ Status Evaluator::ExecSort(const PlanNode& node, const EvalResult& ctx,
     result->kind = Intermediate::Kind::kGroupedAgg;
     result->group_keys.type = in->group_keys.type;
     result->group_keys.dict = in->group_keys.dict;
+    result->group_keys.Reserve(perm.size());
+    result->agg_vals.reserve(perm.size());
+    result->agg_counts.reserve(perm.size());
     for (uint64_t i : perm) {
       result->group_keys.i64.push_back(in->group_keys.AsInt(i));
       result->agg_vals.push_back(in->agg_vals[i]);
@@ -768,7 +969,9 @@ Status Evaluator::ExecSort(const PlanNode& node, const EvalResult& ctx,
   result->values.type = in->values.type;
   result->values.dict = in->values.dict;
   result->origin = in->origin;
+  result->values.Reserve(perm.size());
   bool has_head = !in->head.empty();
+  if (has_head) result->head.reserve(perm.size());
   for (uint64_t i : perm) {
     if (in->values.is_f64()) result->values.f64.push_back(in->values.f64[i]);
     else result->values.i64.push_back(in->values.i64[i]);

@@ -1,19 +1,29 @@
 // Plan interpretation: executes a QueryPlan on real data, producing exact
 // results plus per-operator workload metrics for the cost model.
 //
-// Results are always exact regardless of how the plan was parallelized; the
-// timing of parallel execution is produced separately by the virtual-time
-// simulator (src/sched/simulator.h) from the metrics gathered here.
+// Results are always exact regardless of how the plan was parallelized. Two
+// timings exist for a run: the virtual-time simulator (src/sched/simulator.h)
+// converts the metrics gathered here into the paper machine's time, and the
+// evaluator itself can execute independent plan nodes (exchange clone
+// subtrees) concurrently on a real thread pool for hardware wall-clock truth.
+//
+// The hot path is vectorized: selects and fetch-joins run through the batch
+// kernels in exec/kernels.h (selection vectors, branch-hoisted tight loops).
+// The original row-at-a-time interpreter is retained behind
+// ExecOptions::use_kernels = false as a reference implementation for
+// correctness tests and the scalar-vs-vectorized microbenchmarks.
 #ifndef APQ_EXEC_EVALUATOR_H_
 #define APQ_EXEC_EVALUATOR_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "exec/hash_index.h"
 #include "exec/intermediate.h"
 #include "plan/plan.h"
+#include "sched/thread_pool.h"
 #include "util/status.h"
 
 namespace apq {
@@ -37,53 +47,112 @@ struct OpMetrics {
 struct EvalResult {
   /// Intermediates of reachable nodes, indexed by node id.
   std::unordered_map<int, Intermediate> intermediates;
-  /// Per-node workload metrics, in topological order of execution.
+  /// Per-node workload metrics, in topological order of execution
+  /// (deterministic: identical for serial and threaded execution).
   std::vector<OpMetrics> metrics;
   /// The intermediate feeding the result node.
   Intermediate result;
+  /// Wall-clock nanoseconds the evaluator spent executing the plan.
+  double wall_ns = 0;
+};
+
+/// \brief Execution backend configuration.
+struct ExecOptions {
+  /// Use the vectorized selection-vector kernels (exec/kernels.h). When
+  /// false, the original scalar row-at-a-time interpreter runs instead.
+  bool use_kernels = true;
+  /// Worker threads for plan-node execution. 1 = serial (in the calling
+  /// thread); >1 = independent nodes (exchange clone subtrees) run
+  /// concurrently on a shared thread pool. 0 = one per hardware thread.
+  int num_threads = 1;
 };
 
 /// \brief Interprets plans operator-at-a-time (like MonetDB's MAL
 /// interpreter). Hash indexes for join inners are cached across operators and
 /// across repeated invocations of the same Evaluator, mirroring BAT hash
-/// caching.
+/// caching; the cache is thread-safe so parallel join clones share one build.
 class Evaluator {
  public:
   Evaluator() = default;
+  explicit Evaluator(ExecOptions options) { set_options(options); }
+
+  void set_options(ExecOptions options) {
+    if (options.num_threads == 0) {
+      options.num_threads = ThreadPool::DefaultThreads();
+    }
+    if (options.num_threads < 1) options.num_threads = 1;
+    if (options_.num_threads != options.num_threads) pool_.reset();
+    options_ = options;
+  }
+  const ExecOptions& options() const { return options_; }
+  void set_use_kernels(bool on) { options_.use_kernels = on; }
+  void set_num_threads(int n) {
+    ExecOptions o = options_;
+    o.num_threads = n;
+    set_options(o);
+  }
 
   /// Executes `plan`; on success fills `out`.
   Status Execute(const QueryPlan& plan, EvalResult* out);
 
   /// Drops cached hash indexes (e.g. between unrelated experiments).
-  void ClearCaches() { hash_cache_.clear(); }
+  void ClearCaches() {
+    std::lock_guard<std::mutex> lock(hash_mu_);
+    hash_cache_.clear();
+  }
 
  private:
-  Status ExecNode(const QueryPlan& plan, const PlanNode& node, EvalResult* out,
-                  Intermediate* result, OpMetrics* m);
+  /// Read view over per-node result slots during one execution. A node id is
+  /// readable iff done[id] is set, which the schedulers guarantee for every
+  /// input before a node runs.
+  struct ExecContext {
+    const std::vector<Intermediate>* slots = nullptr;
+    const std::vector<uint8_t>* done = nullptr;
+  };
 
-  Status ExecSelect(const PlanNode& node, const EvalResult& ctx,
+  Status ExecuteSerial(const QueryPlan& plan, const std::vector<int>& order,
+                       std::vector<Intermediate>* slots,
+                       std::vector<uint8_t>* done,
+                       std::vector<OpMetrics>* metrics);
+  Status ExecuteParallel(const QueryPlan& plan, const std::vector<int>& order,
+                         std::vector<Intermediate>* slots,
+                         std::vector<uint8_t>* done,
+                         std::vector<OpMetrics>* metrics);
+
+  Status ExecNode(const QueryPlan& plan, const PlanNode& node,
+                  const ExecContext& ctx, Intermediate* result, OpMetrics* m);
+
+  Status ExecSelect(const PlanNode& node, const ExecContext& ctx,
                     Intermediate* result, OpMetrics* m);
-  Status ExecFetchJoin(const PlanNode& node, const EvalResult& ctx,
+  Status ExecFetchJoin(const PlanNode& node, const ExecContext& ctx,
                        Intermediate* result, OpMetrics* m);
-  Status ExecJoin(const PlanNode& node, const EvalResult& ctx,
+  Status ExecJoin(const PlanNode& node, const ExecContext& ctx,
                   Intermediate* result, OpMetrics* m);
-  Status ExecGroupBy(const PlanNode& node, const EvalResult& ctx,
+  Status ExecGroupBy(const PlanNode& node, const ExecContext& ctx,
                      Intermediate* result, OpMetrics* m);
-  Status ExecAggregate(const PlanNode& node, const EvalResult& ctx,
+  Status ExecAggregate(const PlanNode& node, const ExecContext& ctx,
                        Intermediate* result, OpMetrics* m);
-  Status ExecAggrMerge(const PlanNode& node, const EvalResult& ctx,
+  Status ExecAggrMerge(const PlanNode& node, const ExecContext& ctx,
                        Intermediate* result, OpMetrics* m);
-  Status ExecUnion(const PlanNode& node, const EvalResult& ctx,
+  Status ExecUnion(const PlanNode& node, const ExecContext& ctx,
                    Intermediate* result, OpMetrics* m);
-  Status ExecMap(const PlanNode& node, const EvalResult& ctx,
+  Status ExecMap(const PlanNode& node, const ExecContext& ctx,
                  Intermediate* result, OpMetrics* m);
-  Status ExecSort(const PlanNode& node, const EvalResult& ctx,
+  Status ExecSort(const PlanNode& node, const ExecContext& ctx,
                   Intermediate* result, OpMetrics* m);
 
-  const std::shared_ptr<HashIndex>& GetOrBuildHash(const Column& column,
-                                                   OpMetrics* m);
+  std::shared_ptr<HashIndex> GetOrBuildHash(const Column& column);
 
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created when num_threads > 1
+
+  std::mutex hash_mu_;
   std::unordered_map<const Column*, std::shared_ptr<HashIndex>> hash_cache_;
+  /// Hash builds performed during the current Execute. Build cost is
+  /// attributed after the run to the topologically-first join over the built
+  /// column, so hash_build_rows in the metrics is identical for serial and
+  /// threaded execution (under threads, any clone may race to build first).
+  std::vector<std::pair<const Column*, uint64_t>> hash_builds_;
 };
 
 }  // namespace apq

@@ -1,0 +1,290 @@
+#include "exec/kernels.h"
+
+#include <string>
+
+namespace apq {
+
+namespace {
+
+// ---- predicate functors ----------------------------------------------------
+// One functor per (predicate kind x storage type) pairing; the operator()
+// returns 0/1 so the selection loops can advance their write cursor without
+// branching. Semantics mirror evaluator.cc's scalar `test` lambda exactly,
+// including the int<->float casts for mistyped predicates.
+
+struct TrueI64 {
+  size_t operator()(int64_t) const { return 1; }
+};
+struct RangeI64 {
+  int64_t lo, hi;
+  size_t operator()(int64_t v) const {
+    return static_cast<size_t>((v >= lo) & (v <= hi));
+  }
+};
+struct EqI64 {
+  int64_t v0;
+  size_t operator()(int64_t v) const { return static_cast<size_t>(v == v0); }
+};
+// RangeF64 predicate over int64 storage: the scalar path casts the value.
+struct RangeF64OverI64 {
+  double lo, hi;
+  size_t operator()(int64_t v) const {
+    double x = static_cast<double>(v);
+    return static_cast<size_t>((x >= lo) & (x <= hi));
+  }
+};
+struct LikeCode {
+  const uint8_t* match;
+  size_t operator()(int64_t code) const { return match[code]; }
+};
+
+struct TrueF64 {
+  size_t operator()(double) const { return 1; }
+};
+struct RangeF64 {
+  double lo, hi;
+  size_t operator()(double v) const {
+    return static_cast<size_t>((v >= lo) & (v <= hi));
+  }
+};
+// Int predicates over float64 storage: the scalar path truncates the value.
+struct RangeI64OverF64 {
+  int64_t lo, hi;
+  size_t operator()(double v) const {
+    int64_t x = static_cast<int64_t>(v);
+    return static_cast<size_t>((x >= lo) & (x <= hi));
+  }
+};
+struct EqI64OverF64 {
+  int64_t v0;
+  size_t operator()(double v) const {
+    return static_cast<size_t>(static_cast<int64_t>(v) == v0);
+  }
+};
+struct FalseAny {
+  size_t operator()(int64_t) const { return 0; }
+  size_t operator()(double) const { return 0; }
+};
+
+// ---- selection loops -------------------------------------------------------
+
+// Rows per growth step of an output vector. Growing blockwise keeps
+// resize()'s value-initialization proportional to the *output* and
+// cache-warm, instead of one cold memset over the worst case; the selection
+// loop then overwrites warm lines. The vector's own geometric growth bounds
+// both reallocation cost and retained capacity at O(output) — deliberately
+// no worst-case reserve, which would pin scanned-range-sized capacity inside
+// long-lived intermediates. 32K oids = 256 KB, comfortably L2-resident.
+constexpr size_t kGrowBlock = 32768;
+
+// Appends all row ids in [begin, end) whose value passes `pred`. The loop
+// body is branch-free: the row id is stored unconditionally and the write
+// cursor advances by the 0/1 predicate result. The write pointer is
+// re-fetched after every resize, so block-boundary reallocation is safe.
+template <typename T, typename P>
+void DenseLoop(const T* data, oid begin, oid end, P pred,
+               std::vector<oid>* out) {
+  size_t k = out->size();
+  for (oid b = begin; b < end; b += kGrowBlock) {
+    const oid e = b + kGrowBlock < end ? static_cast<oid>(b + kGrowBlock) : end;
+    out->resize(k + (e - b));
+    oid* dst = out->data();
+    for (oid i = b; i < e; ++i) {
+      dst[k] = i;
+      k += pred(data[i]);
+    }
+  }
+  out->resize(k);
+}
+
+// Candidate scan with boundary clip: candidates outside `range` are dropped
+// (they belong to sibling clones). Out-of-range candidates never touch the
+// data array; `range.begin` is a safe in-slice dummy row for the masked read.
+template <typename T, typename P>
+void CandidateLoop(const T* data, const oid* ids, size_t n, RowRange range,
+                   P pred, std::vector<oid>* out, uint64_t* random_accesses) {
+  if (range.size() == 0) return;  // empty slice: every candidate clips away
+  size_t k = out->size();
+  uint64_t accesses = 0;
+  for (size_t b = 0; b < n; b += kGrowBlock) {
+    const size_t e = b + kGrowBlock < n ? b + kGrowBlock : n;
+    out->resize(k + (e - b));
+    oid* dst = out->data();
+    for (size_t i = b; i < e; ++i) {
+      const oid row = ids[i];
+      const size_t in = static_cast<size_t>(range.Contains(row));
+      accesses += in;
+      const oid safe = in ? row : range.begin;
+      dst[k] = row;
+      k += in & pred(data[safe]);
+    }
+  }
+  out->resize(k);
+  *random_accesses += accesses;
+}
+
+// Dispatches a select over int64-backed storage (ints, dates, dict codes).
+template <typename Sink>
+void DispatchI64(const Predicate& pred, const std::vector<uint8_t>* like_match,
+                 Sink&& sink) {
+  switch (pred.kind) {
+    case Predicate::Kind::kNone: sink(TrueI64{}); break;
+    case Predicate::Kind::kRangeI64: sink(RangeI64{pred.lo, pred.hi}); break;
+    case Predicate::Kind::kEqI64: sink(EqI64{pred.lo}); break;
+    case Predicate::Kind::kRangeF64:
+      sink(RangeF64OverI64{pred.flo, pred.fhi});
+      break;
+    case Predicate::Kind::kLike: sink(LikeCode{like_match->data()}); break;
+    default: sink(FalseAny{}); break;
+  }
+}
+
+// Dispatches a select over float64 storage.
+template <typename Sink>
+void DispatchF64(const Predicate& pred, Sink&& sink) {
+  switch (pred.kind) {
+    case Predicate::Kind::kNone: sink(TrueF64{}); break;
+    case Predicate::Kind::kRangeF64: sink(RangeF64{pred.flo, pred.fhi}); break;
+    case Predicate::Kind::kRangeI64:
+      sink(RangeI64OverF64{pred.lo, pred.hi});
+      break;
+    case Predicate::Kind::kEqI64: sink(EqI64OverF64{pred.lo}); break;
+    default: sink(FalseAny{}); break;
+  }
+}
+
+// ---- gather loops ----------------------------------------------------------
+
+template <typename T>
+void GatherAll(const T* src, const oid* ids, size_t n, std::vector<oid>* head,
+               std::vector<T>* vals) {
+  const size_t hbase = head->size();
+  const size_t vbase = vals->size();
+  head->resize(hbase + n);
+  vals->resize(vbase + n);
+  oid* hdst = head->data() + hbase;
+  T* vdst = vals->data() + vbase;
+  for (size_t i = 0; i < n; ++i) {
+    hdst[i] = ids[i];
+    vdst[i] = src[ids[i]];
+  }
+}
+
+template <typename T>
+void GatherClipped(const T* src, const oid* ids, size_t n, RowRange range,
+                   std::vector<oid>* head, std::vector<T>* vals) {
+  if (range.size() == 0) return;
+  const size_t hbase = head->size();
+  const size_t vbase = vals->size();
+  size_t k = 0;
+  for (size_t b = 0; b < n; b += kGrowBlock) {
+    const size_t e = b + kGrowBlock < n ? b + kGrowBlock : n;
+    head->resize(hbase + k + (e - b));
+    vals->resize(vbase + k + (e - b));
+    oid* hdst = head->data() + hbase;
+    T* vdst = vals->data() + vbase;
+    for (size_t i = b; i < e; ++i) {
+      const oid row = ids[i];
+      const size_t in = static_cast<size_t>(range.Contains(row));
+      const oid safe = in ? row : range.begin;
+      hdst[k] = row;
+      vdst[k] = src[safe];
+      k += in;
+    }
+  }
+  head->resize(hbase + k);
+  vals->resize(vbase + k);
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildLikeMatch(const Column& col, const Predicate& p) {
+  const auto& dict = col.dictionary();
+  std::vector<uint8_t> match(dict.size(), 0);
+  for (size_t i = 0; i < dict.size(); ++i) {
+    bool hit = dict[i].find(p.pattern) != std::string::npos;
+    match[i] = (hit != p.anti) ? 1 : 0;
+  }
+  return match;
+}
+
+void SelectDense(const Column& col, RowRange range, const Predicate& pred,
+                 const std::vector<uint8_t>* like_match,
+                 std::vector<oid>* out) {
+  if (col.type() == DataType::kFloat64) {
+    const double* data = col.f64().data();
+    DispatchF64(pred, [&](auto p) { DenseLoop(data, range.begin, range.end, p, out); });
+  } else {
+    const int64_t* data = col.i64().data();
+    DispatchI64(pred, like_match,
+                [&](auto p) { DenseLoop(data, range.begin, range.end, p, out); });
+  }
+}
+
+void SelectCandidates(const Column& col, RowRange range, const Predicate& pred,
+                      const std::vector<uint8_t>* like_match,
+                      const std::vector<oid>& candidates, std::vector<oid>* out,
+                      uint64_t* random_accesses) {
+  const oid* ids = candidates.data();
+  const size_t n = candidates.size();
+  if (col.type() == DataType::kFloat64) {
+    const double* data = col.f64().data();
+    DispatchF64(pred, [&](auto p) {
+      CandidateLoop(data, ids, n, range, p, out, random_accesses);
+    });
+  } else {
+    const int64_t* data = col.i64().data();
+    DispatchI64(pred, like_match, [&](auto p) {
+      CandidateLoop(data, ids, n, range, p, out, random_accesses);
+    });
+  }
+}
+
+Status GatherRows(const Column& col, const std::vector<oid>& ids,
+                  RowRange range, bool sliced, AlignPolicy align,
+                  std::vector<oid>* head, ValueVec* values) {
+  const size_t n = ids.size();
+  if (sliced && align == AlignPolicy::kStrict) {
+    // Strict mode validates in input order, checking beyond-column before
+    // out-of-slice per id — the same id fails with the same error the scalar
+    // interpreter reports.
+    for (size_t i = 0; i < n; ++i) {
+      if (ids[i] >= col.size()) {
+        return Status::Misaligned("fetchjoin rowid " + std::to_string(ids[i]) +
+                                  " beyond column '" + col.name() + "' size " +
+                                  std::to_string(col.size()));
+      }
+      if (!range.Contains(ids[i])) {
+        return Status::Misaligned(
+            "fetchjoin rowid " + std::to_string(ids[i]) + " outside slice " +
+            range.ToString() + " of '" + col.name() + "'");
+      }
+    }
+    sliced = false;  // all ids verified in-slice: take the unclipped gather
+  } else {
+    // Bounds pre-pass (vectorizes to a max-reduction): only on failure do we
+    // rescan for the first offending id, to report the same error the scalar
+    // interpreter would.
+    oid max_id = 0;
+    for (size_t i = 0; i < n; ++i) max_id = ids[i] > max_id ? ids[i] : max_id;
+    if (n > 0 && max_id >= col.size()) {
+      oid bad = max_id;
+      for (size_t i = 0; i < n; ++i) {
+        if (ids[i] >= col.size()) { bad = ids[i]; break; }
+      }
+      return Status::Misaligned("fetchjoin rowid " + std::to_string(bad) +
+                                " beyond column '" + col.name() + "' size " +
+                                std::to_string(col.size()));
+    }
+  }
+  if (col.type() == DataType::kFloat64) {
+    if (sliced) GatherClipped(col.f64().data(), ids.data(), n, range, head, &values->f64);
+    else GatherAll(col.f64().data(), ids.data(), n, head, &values->f64);
+  } else {
+    if (sliced) GatherClipped(col.i64().data(), ids.data(), n, range, head, &values->i64);
+    else GatherAll(col.i64().data(), ids.data(), n, head, &values->i64);
+  }
+  return Status::OK();
+}
+
+}  // namespace apq

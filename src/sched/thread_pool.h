@@ -1,0 +1,60 @@
+// A fixed-size worker thread pool for real (wall-clock) parallel execution.
+//
+// The virtual-time simulator (simulator.h) models the paper's 32/96-thread
+// machines; this pool is the hardware-truth counterpart: the evaluator
+// schedules independent plan nodes (the clone subtrees created by exchange
+// mutations) onto these workers, so parallelized plans actually run in
+// parallel on the host CPU.
+//
+// Tasks may submit further tasks (the evaluator enqueues a node's consumers
+// as they become ready); tasks must never block on other tasks. Completion is
+// tracked by the caller (the pool itself only drains on destruction).
+#ifndef APQ_SCHED_THREAD_POOL_H_
+#define APQ_SCHED_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apq {
+
+/// \brief Fixed-size FIFO thread pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers; pending tasks are still executed before shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on some worker. Safe to call from within a
+  /// running task.
+  void Submit(std::function<void()> fn);
+
+  /// A sensible default worker count for this host.
+  static int DefaultThreads() {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace apq
+
+#endif  // APQ_SCHED_THREAD_POOL_H_

@@ -1,0 +1,203 @@
+// Thread-pool execution of exchange-parallelized plans: threaded runs must
+// reproduce serial results exactly (same intermediates, same metrics order),
+// and errors must propagate cleanly out of worker threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "adaptive/mutator.h"
+#include "exec/compare.h"
+#include "exec/evaluator.h"
+#include "heuristic/parallelizer.h"
+#include "plan/builder.h"
+#include "sched/thread_pool.h"
+#include "workload/tpch.h"
+
+namespace apq {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> count{0};
+  std::atomic<int> remaining{100};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] {
+      count.fetch_add(1);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining.load() == 0; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::atomic<int> remaining{10};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([&] {
+      count.fetch_add(1);
+      pool.Submit([&] {
+        count.fetch_add(1);
+        if (remaining.fetch_sub(1) == 1) cv.notify_all();
+      });
+      if (remaining.fetch_sub(1) == 1) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining.load() == 0; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, DrainsPendingTasksOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchConfig cfg;
+    cfg.lineitem_rows = 6000;
+    cat_ = Tpch::Generate(cfg);
+  }
+
+  // Executes `plan` serially and with a 4-worker pool; both must succeed and
+  // agree on every reachable intermediate and on the metrics order.
+  void ExpectThreadedMatchesSerial(const QueryPlan& plan) {
+    Evaluator serial(ExecOptions{true, 1});
+    Evaluator threaded(ExecOptions{true, 4});
+    EvalResult a, b;
+    ASSERT_TRUE(serial.Execute(plan, &a).ok());
+    ASSERT_TRUE(threaded.Execute(plan, &b).ok());
+    EXPECT_EQ(DiffIntermediates(a.result, b.result), "");
+    ASSERT_EQ(a.intermediates.size(), b.intermediates.size());
+    for (const auto& [id, inter] : a.intermediates) {
+      ASSERT_TRUE(b.intermediates.count(id));
+      EXPECT_EQ(DiffIntermediates(inter, b.intermediates.at(id)), "")
+          << "node " << id;
+    }
+    // Metrics come back in topological order regardless of which worker ran
+    // which node (the simulator depends on this ordering).
+    ASSERT_EQ(a.metrics.size(), b.metrics.size());
+    for (size_t i = 0; i < a.metrics.size(); ++i) {
+      EXPECT_EQ(a.metrics[i].node_id, b.metrics[i].node_id) << i;
+      EXPECT_EQ(a.metrics[i].tuples_out, b.metrics[i].tuples_out) << i;
+      // Hash-build cost lands on the topologically-first join regardless of
+      // which worker raced to build (both evaluators are cold here).
+      EXPECT_EQ(a.metrics[i].hash_build_rows, b.metrics[i].hash_build_rows)
+          << i;
+    }
+  }
+
+  std::shared_ptr<Catalog> cat_;
+};
+
+TEST_F(ParallelExecTest, HeuristicPlansReproduceSerialResults) {
+  for (const auto& name : Tpch::QueryNames()) {
+    auto serial_plan = Tpch::Query(*cat_, name);
+    ASSERT_TRUE(serial_plan.ok()) << name;
+    for (int dop : {2, 8}) {
+      HeuristicParallelizer hp(HeuristicConfig{.dop = dop});
+      auto plan = hp.Parallelize(serial_plan.ValueOrDie());
+      ASSERT_TRUE(plan.ok()) << name;
+      ExpectThreadedMatchesSerial(plan.ValueOrDie()) ;
+    }
+  }
+}
+
+TEST_F(ParallelExecTest, MutatedExchangePlanReproducesSerialResult) {
+  auto q6 = Tpch::Q6(*cat_);
+  ASSERT_TRUE(q6.ok());
+  QueryPlan plan = q6.MoveValueOrDie();
+  // Split the leaf select 4 ways: the clones are independent subtrees feeding
+  // one exchange union, exactly the concurrency the pool exploits.
+  Mutator mutator;
+  int sel = -1;
+  for (int i = 0; i < plan.num_nodes(); ++i) {
+    if (plan.node(i).kind == OpKind::kSelect) { sel = i; break; }
+  }
+  ASSERT_GE(sel, 0);
+  ASSERT_TRUE(mutator.SplitNode(&plan, sel, 4).ok());
+  ASSERT_TRUE(plan.Validate().ok());
+  ExpectThreadedMatchesSerial(plan);
+}
+
+TEST_F(ParallelExecTest, ThreadedExecutionIsDeterministicAcrossRuns) {
+  auto q14 = Tpch::Query(*cat_, "Q14");
+  ASSERT_TRUE(q14.ok());
+  HeuristicParallelizer hp(HeuristicConfig{.dop = 8});
+  auto plan = hp.Parallelize(q14.ValueOrDie());
+  ASSERT_TRUE(plan.ok());
+  Evaluator threaded(ExecOptions{true, 4});
+  EvalResult first;
+  ASSERT_TRUE(threaded.Execute(plan.ValueOrDie(), &first).ok());
+  for (int rep = 0; rep < 5; ++rep) {
+    EvalResult again;
+    ASSERT_TRUE(threaded.Execute(plan.ValueOrDie(), &again).ok());
+    EXPECT_EQ(DiffIntermediates(first.result, again.result), "") << rep;
+  }
+}
+
+TEST_F(ParallelExecTest, ErrorsPropagateFromWorkerThreads) {
+  auto ints = Column::MakeInt64("ints", {1, 2, 3, 4});
+  PlanBuilder b("bad");
+  int sel = b.Select(ints.get(), Predicate::Like("x"));  // LIKE on non-string
+  QueryPlan plan = b.Result(sel);
+  Evaluator threaded(ExecOptions{true, 4});
+  EvalResult er;
+  Status st = threaded.Execute(plan, &er);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The evaluator must remain usable after a failed parallel run.
+  PlanBuilder b2("good");
+  int sel2 = b2.Select(ints.get(), Predicate::RangeI64(2, 3));
+  QueryPlan plan2 = b2.Result(sel2);
+  EvalResult er2;
+  ASSERT_TRUE(threaded.Execute(plan2, &er2).ok());
+  EXPECT_EQ(er2.result.rowids, (std::vector<oid>{1, 2}));
+}
+
+TEST_F(ParallelExecTest, SharedHashCacheBuildsOnce) {
+  auto q9 = Tpch::Query(*cat_, "Q9");
+  ASSERT_TRUE(q9.ok());
+  HeuristicParallelizer hp(HeuristicConfig{.dop = 8});
+  auto plan = hp.Parallelize(q9.ValueOrDie());
+  ASSERT_TRUE(plan.ok());
+  Evaluator threaded(ExecOptions{true, 4});
+  EvalResult er1, er2;
+  ASSERT_TRUE(threaded.Execute(plan.ValueOrDie(), &er1).ok());
+  ASSERT_TRUE(threaded.Execute(plan.ValueOrDie(), &er2).ok());
+  uint64_t builds1 = 0, builds2 = 0;
+  for (const auto& m : er1.metrics) builds1 += m.hash_build_rows;
+  for (const auto& m : er2.metrics) builds2 += m.hash_build_rows;
+  EXPECT_GT(builds1, 0u);
+  EXPECT_EQ(builds2, 0u);  // second run: all inners cached
+}
+
+TEST_F(ParallelExecTest, WallClockIsReported) {
+  auto q6 = Tpch::Q6(*cat_);
+  ASSERT_TRUE(q6.ok());
+  Evaluator eval;
+  EvalResult er;
+  ASSERT_TRUE(eval.Execute(q6.ValueOrDie(), &er).ok());
+  EXPECT_GT(er.wall_ns, 0.0);
+}
+
+}  // namespace
+}  // namespace apq
