@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_integration_test.dir/tests/adaptive_integration_test.cc.o"
+  "CMakeFiles/adaptive_integration_test.dir/tests/adaptive_integration_test.cc.o.d"
+  "adaptive_integration_test"
+  "adaptive_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

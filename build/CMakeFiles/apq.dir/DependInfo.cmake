@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/convergence.cc" "CMakeFiles/apq.dir/src/adaptive/convergence.cc.o" "gcc" "CMakeFiles/apq.dir/src/adaptive/convergence.cc.o.d"
+  "/root/repo/src/adaptive/executor.cc" "CMakeFiles/apq.dir/src/adaptive/executor.cc.o" "gcc" "CMakeFiles/apq.dir/src/adaptive/executor.cc.o.d"
+  "/root/repo/src/adaptive/mutator.cc" "CMakeFiles/apq.dir/src/adaptive/mutator.cc.o" "gcc" "CMakeFiles/apq.dir/src/adaptive/mutator.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "CMakeFiles/apq.dir/src/engine/engine.cc.o" "gcc" "CMakeFiles/apq.dir/src/engine/engine.cc.o.d"
+  "/root/repo/src/exec/compare.cc" "CMakeFiles/apq.dir/src/exec/compare.cc.o" "gcc" "CMakeFiles/apq.dir/src/exec/compare.cc.o.d"
+  "/root/repo/src/exec/cost_model.cc" "CMakeFiles/apq.dir/src/exec/cost_model.cc.o" "gcc" "CMakeFiles/apq.dir/src/exec/cost_model.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "CMakeFiles/apq.dir/src/exec/evaluator.cc.o" "gcc" "CMakeFiles/apq.dir/src/exec/evaluator.cc.o.d"
+  "/root/repo/src/exec/hash_index.cc" "CMakeFiles/apq.dir/src/exec/hash_index.cc.o" "gcc" "CMakeFiles/apq.dir/src/exec/hash_index.cc.o.d"
+  "/root/repo/src/exec/kernels.cc" "CMakeFiles/apq.dir/src/exec/kernels.cc.o" "gcc" "CMakeFiles/apq.dir/src/exec/kernels.cc.o.d"
+  "/root/repo/src/heuristic/parallelizer.cc" "CMakeFiles/apq.dir/src/heuristic/parallelizer.cc.o" "gcc" "CMakeFiles/apq.dir/src/heuristic/parallelizer.cc.o.d"
+  "/root/repo/src/plan/builder.cc" "CMakeFiles/apq.dir/src/plan/builder.cc.o" "gcc" "CMakeFiles/apq.dir/src/plan/builder.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "CMakeFiles/apq.dir/src/plan/plan.cc.o" "gcc" "CMakeFiles/apq.dir/src/plan/plan.cc.o.d"
+  "/root/repo/src/profile/profiler.cc" "CMakeFiles/apq.dir/src/profile/profiler.cc.o" "gcc" "CMakeFiles/apq.dir/src/profile/profiler.cc.o.d"
+  "/root/repo/src/sched/simulator.cc" "CMakeFiles/apq.dir/src/sched/simulator.cc.o" "gcc" "CMakeFiles/apq.dir/src/sched/simulator.cc.o.d"
+  "/root/repo/src/sched/thread_pool.cc" "CMakeFiles/apq.dir/src/sched/thread_pool.cc.o" "gcc" "CMakeFiles/apq.dir/src/sched/thread_pool.cc.o.d"
+  "/root/repo/src/storage/column.cc" "CMakeFiles/apq.dir/src/storage/column.cc.o" "gcc" "CMakeFiles/apq.dir/src/storage/column.cc.o.d"
+  "/root/repo/src/storage/table.cc" "CMakeFiles/apq.dir/src/storage/table.cc.o" "gcc" "CMakeFiles/apq.dir/src/storage/table.cc.o.d"
+  "/root/repo/src/vwsim/vectorwise_sim.cc" "CMakeFiles/apq.dir/src/vwsim/vectorwise_sim.cc.o" "gcc" "CMakeFiles/apq.dir/src/vwsim/vectorwise_sim.cc.o.d"
+  "/root/repo/src/workload/skew.cc" "CMakeFiles/apq.dir/src/workload/skew.cc.o" "gcc" "CMakeFiles/apq.dir/src/workload/skew.cc.o.d"
+  "/root/repo/src/workload/tpcds.cc" "CMakeFiles/apq.dir/src/workload/tpcds.cc.o" "gcc" "CMakeFiles/apq.dir/src/workload/tpcds.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "CMakeFiles/apq.dir/src/workload/tpch.cc.o" "gcc" "CMakeFiles/apq.dir/src/workload/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

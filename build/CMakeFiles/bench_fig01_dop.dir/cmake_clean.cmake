@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_dop.dir/bench/bench_fig01_dop.cc.o"
+  "CMakeFiles/bench_fig01_dop.dir/bench/bench_fig01_dop.cc.o.d"
+  "bench_fig01_dop"
+  "bench_fig01_dop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_dop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_convergence_trace.dir/bench/bench_fig11_convergence_trace.cc.o"
+  "CMakeFiles/bench_fig11_convergence_trace.dir/bench/bench_fig11_convergence_trace.cc.o.d"
+  "bench_fig11_convergence_trace"
+  "bench_fig11_convergence_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_convergence_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

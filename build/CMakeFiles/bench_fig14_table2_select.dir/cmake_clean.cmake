@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_table2_select.dir/bench/bench_fig14_table2_select.cc.o"
+  "CMakeFiles/bench_fig14_table2_select.dir/bench/bench_fig14_table2_select.cc.o.d"
+  "bench_fig14_table2_select"
+  "bench_fig14_table2_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_table2_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

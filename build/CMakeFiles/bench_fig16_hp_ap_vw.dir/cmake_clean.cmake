@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_hp_ap_vw.dir/bench/bench_fig16_hp_ap_vw.cc.o"
+  "CMakeFiles/bench_fig16_hp_ap_vw.dir/bench/bench_fig16_hp_ap_vw.cc.o.d"
+  "bench_fig16_hp_ap_vw"
+  "bench_fig16_hp_ap_vw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_hp_ap_vw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig16_hp_ap_vw.
+# This may be replaced when dependencies are built.

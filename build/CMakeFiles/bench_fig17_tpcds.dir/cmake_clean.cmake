@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_tpcds.dir/bench/bench_fig17_tpcds.cc.o"
+  "CMakeFiles/bench_fig17_tpcds.dir/bench/bench_fig17_tpcds.cc.o.d"
+  "bench_fig17_tpcds"
+  "bench_fig17_tpcds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tpcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

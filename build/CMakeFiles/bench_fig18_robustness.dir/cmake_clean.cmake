@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_robustness.dir/bench/bench_fig18_robustness.cc.o"
+  "CMakeFiles/bench_fig18_robustness.dir/bench/bench_fig18_robustness.cc.o.d"
+  "bench_fig18_robustness"
+  "bench_fig18_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_concurrent_workload.dir/examples/concurrent_workload.cpp.o"
+  "CMakeFiles/example_concurrent_workload.dir/examples/concurrent_workload.cpp.o.d"
+  "example_concurrent_workload"
+  "example_concurrent_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_concurrent_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

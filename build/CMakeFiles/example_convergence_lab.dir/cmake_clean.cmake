@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_convergence_lab.dir/examples/convergence_lab.cpp.o"
+  "CMakeFiles/example_convergence_lab.dir/examples/convergence_lab.cpp.o.d"
+  "example_convergence_lab"
+  "example_convergence_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_convergence_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

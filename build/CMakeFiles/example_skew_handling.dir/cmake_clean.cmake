@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_skew_handling.dir/examples/skew_handling.cpp.o"
+  "CMakeFiles/example_skew_handling.dir/examples/skew_handling.cpp.o.d"
+  "example_skew_handling"
+  "example_skew_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_skew_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

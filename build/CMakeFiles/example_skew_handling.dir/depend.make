@@ -1,0 +1,2 @@
+# Empty dependencies file for example_skew_handling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_test.dir/tests/heuristic_test.cc.o"
+  "CMakeFiles/heuristic_test.dir/tests/heuristic_test.cc.o.d"
+  "heuristic_test"
+  "heuristic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

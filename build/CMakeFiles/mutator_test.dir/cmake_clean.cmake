@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutator_test.dir/tests/mutator_test.cc.o"
+  "CMakeFiles/mutator_test.dir/tests/mutator_test.cc.o.d"
+  "mutator_test"
+  "mutator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
