@@ -68,6 +68,7 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
     rec.wall_ns = er.wall_ns;
     rec.utilization = profile.utilization;
     rec.plan_stats = plan.Stats();
+    rec.max_morsel_skew = profile.MaxMorselSkew();
     out.runs.push_back(rec);
 
     if (!cont) break;

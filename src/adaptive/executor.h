@@ -27,6 +27,10 @@ struct AdaptiveRun {
   int mutated_node = -1;       // operator parallelized after this run
   std::string mutation;        // basic / medium / advanced / none
   PlanStats plan_stats;        // shape of the plan that executed
+  /// Worst per-operator morsel skew (max/mean morsel wall time) observed in
+  /// this run; 0 when the run executed whole-column. Intra-operator feedback
+  /// the convergence loop sees alongside the operator times.
+  double max_morsel_skew = 0;
 };
 
 /// \brief Outcome of a full adaptive-parallelization instance.

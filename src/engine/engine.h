@@ -31,6 +31,17 @@ struct EngineConfig {
   /// Simulated timings are unaffected; wall_ns fields report hardware truth.
   int exec_threads = 1;
   bool use_kernels = true;
+  /// Morsel-driven intra-operator execution (see ExecOptions::use_morsels).
+  bool use_morsels = false;
+  uint64_t morsel_rows = kDefaultMorselRows;
+  int morsel_workers = 0;  // 0 = one per hardware thread
+  /// Morsel scheduler to share with other engines/queries. When null and
+  /// use_morsels is set, the engine creates its own; pass
+  /// MorselScheduler::Shared() (or another engine's morsel_scheduler()) so
+  /// concurrent queries multiplex one worker fleet instead of one pool each.
+  /// Injecting a scheduler implies use_morsels — a shared fleet that no
+  /// query ever dispatches to would be a silent misconfiguration.
+  std::shared_ptr<MorselScheduler> morsel_scheduler;
 
   EngineConfig() { convergence.cores = sim.logical_cores; }
   static EngineConfig WithSim(SimConfig s) {
@@ -57,12 +68,27 @@ class Engine {
  public:
   explicit Engine(EngineConfig config = EngineConfig())
       : config_(config),
-        evaluator_(ExecOptions{config.use_kernels, config.exec_threads}),
+        evaluator_(MakeExecOptions(config)),
         cost_model_(config.cost),
-        simulator_(config.sim) {}
+        simulator_(config.sim) {
+    if (config_.morsel_scheduler) {
+      evaluator_.set_morsel_scheduler(config_.morsel_scheduler);
+    } else if (config_.use_morsels) {
+      // Created eagerly so morsel_scheduler() can be handed to sibling
+      // engines before the first query runs.
+      evaluator_.EnsureMorselScheduler();
+    }
+  }
 
   const EngineConfig& config() const { return config_; }
   Evaluator* evaluator() { return &evaluator_; }
+
+  /// The morsel scheduler this engine's queries execute on (null unless
+  /// use_morsels or an injected scheduler). Pass it to other engines'
+  /// EngineConfig::morsel_scheduler to share one worker fleet.
+  const std::shared_ptr<MorselScheduler>& morsel_scheduler() const {
+    return evaluator_.morsel_scheduler();
+  }
   const Simulator& simulator() const { return simulator_; }
   const CostModel& cost_model() const { return cost_model_; }
 
@@ -102,6 +128,16 @@ class Engine {
       double spacing_ns = 0.0);
 
  private:
+  static ExecOptions MakeExecOptions(const EngineConfig& c) {
+    ExecOptions o;
+    o.use_kernels = c.use_kernels;
+    o.num_threads = c.exec_threads;
+    o.use_morsels = c.use_morsels || c.morsel_scheduler != nullptr;
+    o.morsel_rows = c.morsel_rows;
+    o.morsel_workers = c.morsel_workers;
+    return o;
+  }
+
   EngineConfig config_;
   Evaluator evaluator_;
   CostModel cost_model_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <numeric>
 #include <unordered_map>
 
@@ -53,23 +54,211 @@ Status InputSlot(const std::vector<Intermediate>& slots,
   return Status::OK();
 }
 
+// CI and stress runs force morsel execution onto every kernels-path query
+// without touching call sites. Returns 0 when unset/off, 1 when set (keep the
+// configured morsel size), or a row count when the variable carries one
+// (APQ_FORCE_MORSELS=4096 — small enough that unit-test tables split too).
+uint64_t ForcedMorselRowsFromEnv() {
+  static const uint64_t forced = [] {
+    const char* v = std::getenv("APQ_FORCE_MORSELS");
+    if (v == nullptr || v[0] == '\0') return uint64_t{0};
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (*end != '\0') return uint64_t{1};  // non-numeric ("true", "on"): force
+    // Fully numeric: 0 disables (any zero spelling), 1 forces with the
+    // configured size, larger values force that many rows per morsel.
+    return static_cast<uint64_t>(n);
+  }();
+  return forced;
+}
+
 }  // namespace
 
 #define APQ_INPUT_OF(ctx, id, out) \
   APQ_RETURN_NOT_OK(InputSlot(*(ctx).slots, *(ctx).done, (id), (out)))
 
+bool Evaluator::MorselsEnabled() const {
+  return options_.use_kernels &&
+         (options_.use_morsels || ForcedMorselRowsFromEnv() != 0);
+}
+
+uint64_t Evaluator::EffectiveMorselRows() const {
+  const uint64_t forced = ForcedMorselRowsFromEnv();
+  return forced > 1 ? forced : options_.morsel_rows;
+}
+
+const std::shared_ptr<MorselScheduler>& Evaluator::EnsureMorselScheduler() {
+  if (!morsel_sched_) {
+    morsel_sched_ = std::make_shared<MorselScheduler>(options_.morsel_workers);
+    morsel_sched_owned_ = true;
+  }
+  return morsel_sched_;
+}
+
+size_t Evaluator::MorselSelectDense(const Column& col, RowRange range,
+                                    const Predicate& pred,
+                                    const std::vector<uint8_t>* like_match,
+                                    Intermediate* result, OpMetrics* m) {
+  MorselSource src(range, EffectiveMorselRows());
+  const size_t nm = src.num_morsels();
+  if (nm < 2) return 0;  // one morsel = whole column; skip the detour
+
+  // Each morsel selects into its own fragment; concatenation in morsel order
+  // reproduces the whole-column scan bit-for-bit (SelectDense appends row ids
+  // in row order within its subrange).
+  std::vector<std::vector<oid>> frags(nm);
+  std::vector<MorselMetrics> mm(nm);
+  EnsureMorselScheduler()->ParallelFor(nm, [&](size_t i, int worker) {
+    const Morsel ms = src.morsel(i);
+    const double t0 = NowNs();
+    SelectDense(col, RowRange{ms.begin, ms.end}, pred, like_match, &frags[i]);
+    mm[i] = MorselMetrics{ms.size(), frags[i].size(), NowNs() - t0, worker};
+  });
+
+  size_t total = 0;
+  for (const auto& f : frags) total += f.size();
+  result->rowids.reserve(result->rowids.size() + total);
+  for (const auto& f : frags) {
+    result->rowids.insert(result->rowids.end(), f.begin(), f.end());
+  }
+  m->morsels = std::move(mm);
+  return nm;
+}
+
+size_t Evaluator::MorselSelectCandidates(const Column& col, RowRange range,
+                                         const Predicate& pred,
+                                         const std::vector<uint8_t>* like_match,
+                                         const std::vector<oid>& candidates,
+                                         Intermediate* result, OpMetrics* m) {
+  MorselSource src(0, candidates.size(), EffectiveMorselRows());
+  const size_t nm = src.num_morsels();
+  if (nm < 2) return 0;
+
+  std::vector<std::vector<oid>> frags(nm);
+  std::vector<uint64_t> accesses(nm, 0);
+  std::vector<MorselMetrics> mm(nm);
+  EnsureMorselScheduler()->ParallelFor(nm, [&](size_t i, int worker) {
+    const Morsel ms = src.morsel(i);
+    const double t0 = NowNs();
+    SelectCandidatesSpan(col, range, pred, like_match,
+                         candidates.data() + ms.begin, ms.size(), &frags[i],
+                         &accesses[i]);
+    mm[i] = MorselMetrics{ms.size(), frags[i].size(), NowNs() - t0, worker};
+  });
+
+  size_t total = 0;
+  for (const auto& f : frags) total += f.size();
+  result->rowids.reserve(result->rowids.size() + total);
+  for (size_t i = 0; i < nm; ++i) {
+    result->rowids.insert(result->rowids.end(), frags[i].begin(),
+                          frags[i].end());
+    m->random_accesses += accesses[i];
+  }
+  m->morsels = std::move(mm);
+  return nm;
+}
+
+Status Evaluator::MorselGather(const Column& col, const std::vector<oid>& ids,
+                               RowRange range, bool sliced, AlignPolicy align,
+                               Intermediate* result, OpMetrics* m, bool* ran) {
+  *ran = false;
+  MorselSource src(0, ids.size(), EffectiveMorselRows());
+  const size_t nm = src.num_morsels();
+  if (nm < 2) return Status::OK();
+  *ran = true;
+
+  // Without kAdjust clipping every id yields exactly one output (strict
+  // slices validate, they don't drop), so morsel i owns exactly the output
+  // span [ms.begin, ms.end): workers gather straight into the pre-sized
+  // result — no fragment vectors, no second concatenation pass.
+  if (!(sliced && align == AlignPolicy::kAdjust)) {
+    const size_t hbase = result->head.size();
+    const uint64_t vbase = result->values.size();
+    result->head.resize(hbase + ids.size());
+    if (result->values.is_f64()) {
+      result->values.f64.resize(vbase + ids.size());
+    } else {
+      result->values.i64.resize(vbase + ids.size());
+    }
+    std::vector<Status> statuses(nm);
+    std::vector<MorselMetrics> direct_mm(nm);
+    EnsureMorselScheduler()->ParallelFor(nm, [&](size_t i, int worker) {
+      const Morsel ms = src.morsel(i);
+      const double t0 = NowNs();
+      statuses[i] = GatherRowsAt(col, ids.data() + ms.begin, ms.size(), range,
+                                 /*strict_sliced=*/sliced,
+                                 result->head.data() + hbase + ms.begin,
+                                 &result->values, vbase + ms.begin);
+      direct_mm[i] =
+          MorselMetrics{ms.size(), ms.size(), NowNs() - t0, worker};
+    });
+    // Lowest failing morsel = input-order first offender, matching the
+    // whole-list error; the partially written result is discarded upstream.
+    for (const auto& st : statuses) {
+      if (!st.ok()) return st;
+    }
+    m->morsels = std::move(direct_mm);
+    return Status::OK();
+  }
+
+  struct Frag {
+    std::vector<oid> head;
+    ValueVec values;
+    Status status = Status::OK();
+  };
+  std::vector<Frag> frags(nm);
+  for (auto& f : frags) {
+    f.values.type = result->values.type;
+    f.values.dict = result->values.dict;
+  }
+  std::vector<MorselMetrics> mm(nm);
+  EnsureMorselScheduler()->ParallelFor(nm, [&](size_t i, int worker) {
+    const Morsel ms = src.morsel(i);
+    const double t0 = NowNs();
+    frags[i].status =
+        GatherRowsSpan(col, ids.data() + ms.begin, ms.size(), range, sliced,
+                       align, &frags[i].head, &frags[i].values);
+    mm[i] = MorselMetrics{ms.size(), frags[i].values.size(), NowNs() - t0,
+                          worker};
+  });
+
+  // Errors surface from the lowest-indexed failing morsel: morsel order is
+  // input order, so this is the same first-offender error the whole-list
+  // kernel (and the scalar interpreter) reports.
+  for (const auto& f : frags) {
+    if (!f.status.ok()) return f.status;
+  }
+  size_t total = 0;
+  for (const auto& f : frags) total += f.head.size();
+  result->head.reserve(result->head.size() + total);
+  result->values.Reserve(result->values.size() + total);
+  for (auto& f : frags) {
+    result->head.insert(result->head.end(), f.head.begin(), f.head.end());
+    result->values.Append(f.values);
+  }
+  m->morsels = std::move(mm);
+  return Status::OK();
+}
+
 std::shared_ptr<HashIndex> Evaluator::GetOrBuildHash(const Column& column) {
-  // One mutex serializes lookups and builds. Builds happen at most once per
-  // column; concurrent join clones probing the same inner block until the
-  // first build completes (exactly the sharing MonetDB's BAT hash gives).
-  std::lock_guard<std::mutex> lock(hash_mu_);
-  auto it = hash_cache_.find(&column);
-  if (it != hash_cache_.end()) return it->second;
-  auto idx = HashIndex::Build(column, column.full_range());
-  hash_builds_.emplace_back(&column, idx->num_keys());
-  auto [pos, inserted] = hash_cache_.emplace(&column, std::move(idx));
-  (void)inserted;
-  return pos->second;
+  // hash_mu_ only covers the map lookup/insert; the build itself runs under
+  // the slot's once_flag. Concurrent first builds of *different* inners
+  // therefore proceed in parallel, while clones racing for the *same* inner
+  // still share one build (the sharing MonetDB's BAT hash gives), with
+  // late-comers blocking in call_once until the winner finishes.
+  std::shared_ptr<HashSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(hash_mu_);
+    auto& entry = hash_cache_[&column];
+    if (!entry) entry = std::make_shared<HashSlot>();
+    slot = entry;
+  }
+  std::call_once(slot->built, [&] {
+    slot->index = HashIndex::Build(column, column.full_range());
+    std::lock_guard<std::mutex> lock(hash_mu_);
+    hash_builds_.emplace_back(&column, slot->index->num_keys());
+  });
+  return slot->index;
 }
 
 Status Evaluator::Execute(const QueryPlan& plan, EvalResult* out) {
@@ -83,6 +272,10 @@ Status Evaluator::Execute(const QueryPlan& plan, EvalResult* out) {
   std::vector<Intermediate> slots(plan.num_nodes());
   std::vector<uint8_t> done(plan.num_nodes(), 0);
   std::vector<OpMetrics> metrics(order.size());
+
+  // Create the morsel scheduler on this thread before nodes fan out to pool
+  // workers; lazy creation inside a worker would race.
+  if (MorselsEnabled()) EnsureMorselScheduler();
 
   {
     std::lock_guard<std::mutex> lock(hash_mu_);
@@ -297,11 +490,24 @@ Status Evaluator::ExecSelect(const PlanNode& node, const ExecContext& ctx,
   }
 
   if (options_.use_kernels) {
-    if (in) {
-      SelectCandidates(col, range, node.pred, &like_match, in->rowids,
-                       &result->rowids, &m->random_accesses);
-    } else {
-      SelectDense(col, range, node.pred, &like_match, &result->rowids);
+    // Morsel-driven path first: splits the input across the work-stealing
+    // scheduler and concatenates per-morsel fragments in input order. Returns
+    // 0 when disabled or when the input fits in a single morsel, in which
+    // case the whole-column kernel below runs (identical output either way).
+    size_t nm = 0;
+    if (MorselsEnabled()) {
+      nm = in ? MorselSelectCandidates(col, range, node.pred, &like_match,
+                                       in->rowids, result, m)
+              : MorselSelectDense(col, range, node.pred, &like_match, result,
+                                  m);
+    }
+    if (nm == 0) {
+      if (in) {
+        SelectCandidates(col, range, node.pred, &like_match, in->rowids,
+                         &result->rowids, &m->random_accesses);
+      } else {
+        SelectDense(col, range, node.pred, &like_match, &result->rowids);
+      }
     }
   } else {
     // Scalar reference path: per-row lambda re-dispatching on kind and type.
@@ -370,8 +576,15 @@ Status Evaluator::ExecFetchJoin(const PlanNode& node, const ExecContext& ctx,
   // sibling clones (covering the neighbouring slices) produce the rest.
   bool sliced = node.has_slice;
   if (options_.use_kernels) {
-    APQ_RETURN_NOT_OK(GatherRows(col, *ids, range, sliced, node.align,
-                                 &result->head, &result->values));
+    bool morsels_ran = false;
+    if (MorselsEnabled()) {
+      APQ_RETURN_NOT_OK(MorselGather(col, *ids, range, sliced, node.align,
+                                     result, m, &morsels_ran));
+    }
+    if (!morsels_ran) {
+      APQ_RETURN_NOT_OK(GatherRows(col, *ids, range, sliced, node.align,
+                                   &result->head, &result->values));
+    }
   } else {
     result->head.reserve(ids->size());
     result->values.Reserve(ids->size());

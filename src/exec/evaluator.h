@@ -22,11 +22,24 @@
 
 #include "exec/hash_index.h"
 #include "exec/intermediate.h"
+#include "exec/morsel_source.h"
 #include "plan/plan.h"
+#include "sched/morsel_scheduler.h"
 #include "sched/thread_pool.h"
 #include "util/status.h"
 
 namespace apq {
+
+/// \brief One morsel's share of an operator execution (intra-operator
+/// parallelism). Tuple counts are deterministic — they depend only on the
+/// morsel partitioning, not on which worker ran the morsel — while wall_ns
+/// and worker are hardware truth and vary run to run.
+struct MorselMetrics {
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  double wall_ns = 0;
+  int worker = MorselScheduler::kCallerWorker;
+};
 
 /// \brief What one operator execution did, in machine-independent units.
 /// The cost model converts this into virtual time.
@@ -41,6 +54,9 @@ struct OpMetrics {
   uint64_t random_working_set = 0;    // bytes of the randomly accessed region
   uint64_t hash_build_rows = 0;       // rows inserted into a new hash index
   uint64_t sort_rows = 0;             // rows sorted (n log n term)
+  /// Per-morsel breakdown in morsel (= input) order; empty when the operator
+  /// ran whole-column. Morsel tuple counts sum exactly to tuples_in/out.
+  std::vector<MorselMetrics> morsels;
 };
 
 /// \brief Result of interpreting a plan.
@@ -65,6 +81,19 @@ struct ExecOptions {
   /// thread); >1 = independent nodes (exchange clone subtrees) run
   /// concurrently on a shared thread pool. 0 = one per hardware thread.
   int num_threads = 1;
+  /// Morsel-driven intra-operator execution: dense selects, candidate
+  /// selects, and fetch-join gathers are split into fixed-size morsels and
+  /// executed on a work-stealing scheduler (sched/morsel_scheduler.h), then
+  /// concatenated in morsel order — bit-identical to whole-column kernels.
+  /// Requires use_kernels; the scalar interpreter is never morselized.
+  /// The APQ_FORCE_MORSELS=1 environment variable overrides this to true.
+  bool use_morsels = false;
+  /// Rows per morsel (0 = kDefaultMorselRows).
+  uint64_t morsel_rows = kDefaultMorselRows;
+  /// Workers of a lazily created morsel scheduler (0 = one per hardware
+  /// thread). Ignored when a shared scheduler is injected via
+  /// set_morsel_scheduler (the multi-query configuration).
+  int morsel_workers = 0;
 };
 
 /// \brief Interprets plans operator-at-a-time (like MonetDB's MAL
@@ -82,6 +111,13 @@ class Evaluator {
     }
     if (options.num_threads < 1) options.num_threads = 1;
     if (options_.num_threads != options.num_threads) pool_.reset();
+    // A lazily created scheduler is rebuilt at the new worker count; an
+    // injected (shared) scheduler is never dropped by an options change.
+    if (options_.morsel_workers != options.morsel_workers &&
+        morsel_sched_owned_) {
+      morsel_sched_.reset();
+      morsel_sched_owned_ = false;
+    }
     options_ = options;
   }
   const ExecOptions& options() const { return options_; }
@@ -95,11 +131,34 @@ class Evaluator {
   /// Executes `plan`; on success fills `out`.
   Status Execute(const QueryPlan& plan, EvalResult* out);
 
-  /// Drops cached hash indexes (e.g. between unrelated experiments).
+  /// Drops cached hash indexes (e.g. between unrelated experiments). Must not
+  /// race with an Execute that is building hashes.
   void ClearCaches() {
     std::lock_guard<std::mutex> lock(hash_mu_);
     hash_cache_.clear();
   }
+
+  /// Injects a (possibly shared) morsel scheduler. Concurrent queries that
+  /// share one scheduler multiplex one worker fleet instead of spawning a
+  /// pool per query; Engine wires its scheduler through here.
+  void set_morsel_scheduler(std::shared_ptr<MorselScheduler> sched) {
+    morsel_sched_ = std::move(sched);
+    morsel_sched_owned_ = false;
+  }
+  const std::shared_ptr<MorselScheduler>& morsel_scheduler() const {
+    return morsel_sched_;
+  }
+  /// Returns the morsel scheduler, creating one (options().morsel_workers
+  /// workers) if none was injected.
+  const std::shared_ptr<MorselScheduler>& EnsureMorselScheduler();
+
+  /// True when morsel-driven execution applies: use_morsels (or the
+  /// APQ_FORCE_MORSELS=1 environment override) and the vectorized kernels.
+  bool MorselsEnabled() const;
+
+  /// Rows per morsel actually used: options().morsel_rows, unless
+  /// APQ_FORCE_MORSELS carries an explicit row count (e.g. =4096).
+  uint64_t EffectiveMorselRows() const;
 
  private:
   /// Read view over per-node result slots during one execution. A node id is
@@ -141,13 +200,42 @@ class Evaluator {
   Status ExecSort(const PlanNode& node, const ExecContext& ctx,
                   Intermediate* result, OpMetrics* m);
 
+  /// Morsel-parallel select over a dense range. Returns the number of morsels
+  /// run (0 = caller should take the whole-column path).
+  size_t MorselSelectDense(const Column& col, RowRange range,
+                           const Predicate& pred,
+                           const std::vector<uint8_t>* like_match,
+                           Intermediate* result, OpMetrics* m);
+  /// Morsel-parallel select over a candidate list.
+  size_t MorselSelectCandidates(const Column& col, RowRange range,
+                                const Predicate& pred,
+                                const std::vector<uint8_t>* like_match,
+                                const std::vector<oid>& candidates,
+                                Intermediate* result, OpMetrics* m);
+  /// Morsel-parallel fetch-join gather; on success appends to result->head /
+  /// result->values. `*ran` reports whether the morsel path was taken.
+  Status MorselGather(const Column& col, const std::vector<oid>& ids,
+                      RowRange range, bool sliced, AlignPolicy align,
+                      Intermediate* result, OpMetrics* m, bool* ran);
+
   std::shared_ptr<HashIndex> GetOrBuildHash(const Column& column);
 
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // lazily created when num_threads > 1
+  std::shared_ptr<MorselScheduler> morsel_sched_;  // injected or lazy
+  bool morsel_sched_owned_ = false;   // true iff lazily created (not injected)
 
-  std::mutex hash_mu_;
-  std::unordered_map<const Column*, std::shared_ptr<HashIndex>> hash_cache_;
+  /// One cache entry per join-inner column. The per-entry once_flag is the
+  /// build latch: concurrent first builds of *different* inners proceed in
+  /// parallel (hash_mu_ only guards the map itself), while clones racing for
+  /// the *same* inner still share a single build.
+  struct HashSlot {
+    std::once_flag built;
+    std::shared_ptr<HashIndex> index;
+  };
+
+  std::mutex hash_mu_;  // guards hash_cache_ (the map) and hash_builds_
+  std::unordered_map<const Column*, std::shared_ptr<HashSlot>> hash_cache_;
   /// Hash builds performed during the current Execute. Build cost is
   /// attributed after the run to the topologically-first join over the built
   /// column, so hash_build_rows in the metrics is identical for serial and

@@ -196,6 +196,54 @@ void GatherClipped(const T* src, const oid* ids, size_t n, RowRange range,
   vals->resize(vbase + k);
 }
 
+template <typename T>
+void GatherAt(const T* src, const oid* ids, size_t n, oid* hdst, T* vdst) {
+  for (size_t i = 0; i < n; ++i) {
+    hdst[i] = ids[i];
+    vdst[i] = src[ids[i]];
+  }
+}
+
+Status MisalignedBeyond(const Column& col, oid id) {
+  return Status::Misaligned("fetchjoin rowid " + std::to_string(id) +
+                            " beyond column '" + col.name() + "' size " +
+                            std::to_string(col.size()));
+}
+
+Status MisalignedOutside(const Column& col, oid id, RowRange range) {
+  return Status::Misaligned("fetchjoin rowid " + std::to_string(id) +
+                            " outside slice " + range.ToString() + " of '" +
+                            col.name() + "'");
+}
+
+// Strict-mode validation in input order, checking beyond-column before
+// out-of-slice per id — the same id fails with the same error the scalar
+// interpreter reports.
+Status StrictCheckIds(const Column& col, const oid* ids, size_t n,
+                      RowRange range) {
+  for (size_t i = 0; i < n; ++i) {
+    if (ids[i] >= col.size()) return MisalignedBeyond(col, ids[i]);
+    if (!range.Contains(ids[i])) return MisalignedOutside(col, ids[i], range);
+  }
+  return Status::OK();
+}
+
+// Bounds pre-pass (vectorizes to a max-reduction): only on failure do we
+// rescan for the first offending id, to report the same error the scalar
+// interpreter would.
+Status BoundsCheckIds(const Column& col, const oid* ids, size_t n) {
+  oid max_id = 0;
+  for (size_t i = 0; i < n; ++i) max_id = ids[i] > max_id ? ids[i] : max_id;
+  if (n > 0 && max_id >= col.size()) {
+    oid bad = max_id;
+    for (size_t i = 0; i < n; ++i) {
+      if (ids[i] >= col.size()) { bad = ids[i]; break; }
+    }
+    return MisalignedBeyond(col, bad);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::vector<uint8_t> BuildLikeMatch(const Column& col, const Predicate& p) {
@@ -225,8 +273,15 @@ void SelectCandidates(const Column& col, RowRange range, const Predicate& pred,
                       const std::vector<uint8_t>* like_match,
                       const std::vector<oid>& candidates, std::vector<oid>* out,
                       uint64_t* random_accesses) {
-  const oid* ids = candidates.data();
-  const size_t n = candidates.size();
+  SelectCandidatesSpan(col, range, pred, like_match, candidates.data(),
+                       candidates.size(), out, random_accesses);
+}
+
+void SelectCandidatesSpan(const Column& col, RowRange range,
+                          const Predicate& pred,
+                          const std::vector<uint8_t>* like_match,
+                          const oid* ids, size_t n, std::vector<oid>* out,
+                          uint64_t* random_accesses) {
   if (col.type() == DataType::kFloat64) {
     const double* data = col.f64().data();
     DispatchF64(pred, [&](auto p) {
@@ -243,46 +298,41 @@ void SelectCandidates(const Column& col, RowRange range, const Predicate& pred,
 Status GatherRows(const Column& col, const std::vector<oid>& ids,
                   RowRange range, bool sliced, AlignPolicy align,
                   std::vector<oid>* head, ValueVec* values) {
-  const size_t n = ids.size();
+  return GatherRowsSpan(col, ids.data(), ids.size(), range, sliced, align,
+                        head, values);
+}
+
+Status GatherRowsSpan(const Column& col, const oid* ids, size_t n,
+                      RowRange range, bool sliced, AlignPolicy align,
+                      std::vector<oid>* head, ValueVec* values) {
   if (sliced && align == AlignPolicy::kStrict) {
-    // Strict mode validates in input order, checking beyond-column before
-    // out-of-slice per id — the same id fails with the same error the scalar
-    // interpreter reports.
-    for (size_t i = 0; i < n; ++i) {
-      if (ids[i] >= col.size()) {
-        return Status::Misaligned("fetchjoin rowid " + std::to_string(ids[i]) +
-                                  " beyond column '" + col.name() + "' size " +
-                                  std::to_string(col.size()));
-      }
-      if (!range.Contains(ids[i])) {
-        return Status::Misaligned(
-            "fetchjoin rowid " + std::to_string(ids[i]) + " outside slice " +
-            range.ToString() + " of '" + col.name() + "'");
-      }
-    }
+    APQ_RETURN_NOT_OK(StrictCheckIds(col, ids, n, range));
     sliced = false;  // all ids verified in-slice: take the unclipped gather
   } else {
-    // Bounds pre-pass (vectorizes to a max-reduction): only on failure do we
-    // rescan for the first offending id, to report the same error the scalar
-    // interpreter would.
-    oid max_id = 0;
-    for (size_t i = 0; i < n; ++i) max_id = ids[i] > max_id ? ids[i] : max_id;
-    if (n > 0 && max_id >= col.size()) {
-      oid bad = max_id;
-      for (size_t i = 0; i < n; ++i) {
-        if (ids[i] >= col.size()) { bad = ids[i]; break; }
-      }
-      return Status::Misaligned("fetchjoin rowid " + std::to_string(bad) +
-                                " beyond column '" + col.name() + "' size " +
-                                std::to_string(col.size()));
-    }
+    APQ_RETURN_NOT_OK(BoundsCheckIds(col, ids, n));
   }
   if (col.type() == DataType::kFloat64) {
-    if (sliced) GatherClipped(col.f64().data(), ids.data(), n, range, head, &values->f64);
-    else GatherAll(col.f64().data(), ids.data(), n, head, &values->f64);
+    if (sliced) GatherClipped(col.f64().data(), ids, n, range, head, &values->f64);
+    else GatherAll(col.f64().data(), ids, n, head, &values->f64);
   } else {
-    if (sliced) GatherClipped(col.i64().data(), ids.data(), n, range, head, &values->i64);
-    else GatherAll(col.i64().data(), ids.data(), n, head, &values->i64);
+    if (sliced) GatherClipped(col.i64().data(), ids, n, range, head, &values->i64);
+    else GatherAll(col.i64().data(), ids, n, head, &values->i64);
+  }
+  return Status::OK();
+}
+
+Status GatherRowsAt(const Column& col, const oid* ids, size_t n,
+                    RowRange range, bool strict_sliced, oid* head_dst,
+                    ValueVec* values, uint64_t offset) {
+  if (strict_sliced) {
+    APQ_RETURN_NOT_OK(StrictCheckIds(col, ids, n, range));
+  } else {
+    APQ_RETURN_NOT_OK(BoundsCheckIds(col, ids, n));
+  }
+  if (col.type() == DataType::kFloat64) {
+    GatherAt(col.f64().data(), ids, n, head_dst, values->f64.data() + offset);
+  } else {
+    GatherAt(col.i64().data(), ids, n, head_dst, values->i64.data() + offset);
   }
   return Status::OK();
 }

@@ -46,6 +46,15 @@ void SelectCandidates(const Column& col, RowRange range, const Predicate& pred,
                       const std::vector<oid>& candidates, std::vector<oid>* out,
                       uint64_t* random_accesses);
 
+/// Span form of SelectCandidates, scanning `candidates[0..n)`. The morsel
+/// executor runs one span per morsel; concatenating the outputs in span order
+/// equals one whole-list call.
+void SelectCandidatesSpan(const Column& col, RowRange range,
+                          const Predicate& pred,
+                          const std::vector<uint8_t>* like_match,
+                          const oid* candidates, size_t n,
+                          std::vector<oid>* out, uint64_t* random_accesses);
+
 /// Fetch-join gather: materializes col[id] for every id in `ids` into
 /// `values` (and the surviving ids into `head`), in input order.
 ///  - Any id beyond the column is a Misaligned error (reported for the first
@@ -55,6 +64,24 @@ void SelectCandidates(const Column& col, RowRange range, const Predicate& pred,
 Status GatherRows(const Column& col, const std::vector<oid>& ids,
                   RowRange range, bool sliced, AlignPolicy align,
                   std::vector<oid>* head, ValueVec* values);
+
+/// Span form of GatherRows over `ids[0..n)`, for per-morsel gathers.
+/// Error selection is per-span first-offender, so taking the error of the
+/// lowest-indexed failing span reproduces the whole-list error exactly.
+Status GatherRowsSpan(const Column& col, const oid* ids, size_t n,
+                      RowRange range, bool sliced, AlignPolicy align,
+                      std::vector<oid>* head, ValueVec* values);
+
+/// Positional span gather for morsel execution when every id yields exactly
+/// one output value (any case except slice + kAdjust, whose clipping makes
+/// output sizes data-dependent): validates ids[0..n) — full strict-slice
+/// semantics when `strict_sliced`, beyond-column bounds otherwise — then
+/// writes ids[i] to head_dst[i] and col[ids[i]] to values position
+/// offset + i. head_dst and *values must already be sized; disjoint spans of
+/// one destination may be written concurrently.
+Status GatherRowsAt(const Column& col, const oid* ids, size_t n,
+                    RowRange range, bool strict_sliced, oid* head_dst,
+                    ValueVec* values, uint64_t offset);
 
 }  // namespace apq
 

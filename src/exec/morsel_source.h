@@ -1,0 +1,68 @@
+// Splits an operator's columnar input into fixed-size morsels.
+//
+// A morsel is a contiguous chunk of the input — a row-id subrange of a dense
+// scan, or an index span of a candidate list / fetch-join id list. Morsels
+// are indexed 0..num_morsels() in input order; the evaluator executes each
+// morsel through the whole-column kernels (exec/kernels.h) into a per-morsel
+// fragment and concatenates the fragments by morsel index, which reproduces
+// whole-column execution bit-for-bit regardless of which scheduler worker ran
+// which morsel in what order.
+#ifndef APQ_EXEC_MORSEL_SOURCE_H_
+#define APQ_EXEC_MORSEL_SOURCE_H_
+
+#include <cstdint>
+
+#include "storage/types.h"
+
+namespace apq {
+
+/// Default morsel granularity: ~64K rows (a few hundred KB of column data,
+/// L2-resident; coarse enough that scheduling cost is noise).
+constexpr uint64_t kDefaultMorselRows = 64 * 1024;
+
+/// \brief One morsel: the half-open interval [begin, end) of the input.
+/// For dense scans these are base-table row ids; for candidate lists they
+/// are positions into the candidate vector.
+struct Morsel {
+  size_t index = 0;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  uint64_t size() const { return end - begin; }
+};
+
+/// \brief Enumerates the morsels covering [begin, end).
+class MorselSource {
+ public:
+  MorselSource(uint64_t begin, uint64_t end, uint64_t morsel_rows)
+      : begin_(begin),
+        end_(end < begin ? begin : end),
+        rows_(morsel_rows == 0 ? kDefaultMorselRows : morsel_rows) {}
+
+  /// Morsels over a dense row range.
+  MorselSource(RowRange range, uint64_t morsel_rows)
+      : MorselSource(range.begin, range.end, morsel_rows) {}
+
+  uint64_t total() const { return end_ - begin_; }
+
+  size_t num_morsels() const {
+    return static_cast<size_t>((total() + rows_ - 1) / rows_);
+  }
+
+  Morsel morsel(size_t i) const {
+    Morsel m;
+    m.index = i;
+    m.begin = begin_ + i * rows_;
+    m.end = m.begin + rows_ < end_ ? m.begin + rows_ : end_;
+    return m;
+  }
+
+ private:
+  uint64_t begin_;
+  uint64_t end_;
+  uint64_t rows_;
+};
+
+}  // namespace apq
+
+#endif  // APQ_EXEC_MORSEL_SOURCE_H_

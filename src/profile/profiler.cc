@@ -32,6 +32,12 @@ double RunProfile::TotalBusyNs() const {
   return total;
 }
 
+double RunProfile::MaxMorselSkew() const {
+  double worst = 0;
+  for (const auto& op : ops) worst = std::max(worst, op.morsel_skew);
+  return worst;
+}
+
 std::vector<SimTask> BuildSimTasks(const QueryPlan& plan,
                                    const std::vector<OpMetrics>& metrics,
                                    const CostModel& cost_model, int instance,
@@ -78,6 +84,19 @@ RunProfile MakeRunProfile(const QueryPlan& plan,
     op.core = timings[i].core;
     op.tuples_in = metrics[i].tuples_in;
     op.tuples_out = metrics[i].tuples_out;
+    op.num_morsels = metrics[i].morsels.size();
+    if (op.num_morsels > 0) {
+      // max/mean wall time across the operator's morsels: 1 = balanced,
+      // >1 = some morsel (a dense value cluster, a hot dictionary range)
+      // dominated — skew invisible at whole-operator granularity.
+      double total = 0, peak = 0;
+      for (const auto& ms : metrics[i].morsels) {
+        total += ms.wall_ns;
+        peak = std::max(peak, ms.wall_ns);
+      }
+      double mean = total / static_cast<double>(op.num_morsels);
+      op.morsel_skew = mean > 0 ? peak / mean : 1.0;
+    }
     rp.ops.push_back(op);
   }
   return rp;

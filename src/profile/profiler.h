@@ -25,6 +25,12 @@ struct OpProfile {
   int core = -1;
   uint64_t tuples_in = 0;
   uint64_t tuples_out = 0;
+  /// Morsel-driven execution (0 = ran whole-column). morsel_skew is the max
+  /// morsel wall-time over the mean (1 = perfectly balanced): the
+  /// intra-operator skew signal the adaptive loop observes alongside the
+  /// inter-operator times.
+  uint64_t num_morsels = 0;
+  double morsel_skew = 0;
 
   double duration_ns() const { return end_ns - start_ns; }
 };
@@ -45,6 +51,10 @@ struct RunProfile {
   /// Total busy time across operators (the "total CPU core time" line of the
   /// paper's tomograph captions).
   double TotalBusyNs() const;
+
+  /// Worst intra-operator morsel skew across the run (0 when no operator ran
+  /// morsel-driven).
+  double MaxMorselSkew() const;
 };
 
 /// \brief Builds simulator tasks from evaluated metrics, wiring dataflow

@@ -1,0 +1,172 @@
+#include "sched/morsel_scheduler.h"
+
+#include "sched/thread_pool.h"
+
+namespace apq {
+
+// One ParallelFor invocation: the function to run plus completion tracking.
+// Lives on the caller's stack; tasks referencing it are guaranteed drained
+// before ParallelFor returns.
+struct MorselScheduler::Job {
+  const std::function<void(size_t, int)>* fn = nullptr;
+  std::atomic<size_t> remaining{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+};
+
+MorselScheduler::MorselScheduler(int num_workers) {
+  if (num_workers <= 0) num_workers = ThreadPool::DefaultThreads();
+  slots_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+MorselScheduler::~MorselScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void MorselScheduler::RunTask(const Task& t, int worker) {
+  (*t.job->fn)(t.index, worker);
+  // Decrement *under the job lock*: the ParallelFor waiter re-checks
+  // `remaining` under this same lock and destroys the stack-allocated Job the
+  // moment it observes zero, so the count must never reach zero while this
+  // thread has yet to take (or still holds) the mutex.
+  std::lock_guard<std::mutex> lock(t.job->mu);
+  if (t.job->remaining.fetch_sub(1) == 1) t.job->done_cv.notify_all();
+}
+
+bool MorselScheduler::PopOwn(int w, Task* out) {
+  WorkerSlot& s = *slots_[w];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.dq.empty()) return false;
+  *out = s.dq.back();  // LIFO: newest-dealt end of the own block, cache-warm
+  s.dq.pop_back();
+  pending_.fetch_sub(1);
+  return true;
+}
+
+bool MorselScheduler::StealAny(int w, Task* out) {
+  const int n = static_cast<int>(slots_.size());
+  for (int k = 1; k < n; ++k) {
+    WorkerSlot& v = *slots_[(w + k) % n];
+    std::lock_guard<std::mutex> lock(v.mu);
+    if (v.dq.empty()) continue;
+    *out = v.dq.front();  // FIFO: cold end of the victim's block
+    v.dq.pop_front();
+    pending_.fetch_sub(1);
+    return true;
+  }
+  return false;
+}
+
+bool MorselScheduler::PopForJob(Job* job, Task* out) {
+  // The submitting thread only helps with its *own* job: it scans every deque
+  // for a task of that job (front first — steal side), leaving other jobs'
+  // tasks for the worker fleet.
+  for (auto& slot : slots_) {
+    WorkerSlot& s = *slot;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto it = s.dq.begin(); it != s.dq.end(); ++it) {
+      if (it->job == job) {
+        *out = *it;
+        s.dq.erase(it);
+        pending_.fetch_sub(1);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void MorselScheduler::WorkerLoop(int w) {
+  for (;;) {
+    Task t;
+    if (PopOwn(w, &t)) {
+      slots_[w]->tasks.fetch_add(1);
+      RunTask(t, w);
+      continue;
+    }
+    if (StealAny(w, &t)) {
+      slots_[w]->tasks.fetch_add(1);
+      slots_[w]->steals.fetch_add(1);
+      RunTask(t, w);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] { return stop_ || pending_.load() > 0; });
+    if (stop_) return;  // all ParallelFor calls returned: nothing pending
+  }
+}
+
+void MorselScheduler::ParallelFor(size_t num_tasks,
+                                  const std::function<void(size_t, int)>& fn) {
+  if (num_tasks == 0) return;
+  Job job;
+  job.fn = &fn;
+  job.remaining.store(num_tasks);
+
+  // pending_ is raised *before* any task becomes claimable, so a worker
+  // racing ahead of the dealing loop can never decrement it below zero; the
+  // lock pairs with the workers' idle predicate to avoid lost wakeups.
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    pending_.fetch_add(num_tasks);
+  }
+  // Deal contiguous blocks of morsels across the deques, rotating the first
+  // recipient per job so concurrent small jobs don't all pile onto worker 0.
+  const size_t nw = slots_.size();
+  const size_t base = next_deal_.fetch_add(1) % nw;
+  const size_t chunk = (num_tasks + nw - 1) / nw;
+  for (size_t w = 0; w < nw; ++w) {
+    const size_t lo = w * chunk;
+    if (lo >= num_tasks) break;
+    const size_t hi = lo + chunk < num_tasks ? lo + chunk : num_tasks;
+    WorkerSlot& s = *slots_[(base + w) % nw];
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (size_t i = lo; i < hi; ++i) s.dq.push_back(Task{&job, i});
+  }
+  idle_cv_.notify_all();
+
+  // Help with this job until its unclaimed tasks are gone, then wait for the
+  // in-flight stragglers running on workers.
+  Task t;
+  while (job.remaining.load() > 0 && PopForJob(&job, &t)) {
+    caller_tasks_.fetch_add(1);
+    RunTask(t, kCallerWorker);
+  }
+  std::unique_lock<std::mutex> lock(job.mu);
+  job.done_cv.wait(lock, [&job] { return job.remaining.load() == 0; });
+}
+
+std::vector<MorselWorkerStats> MorselScheduler::worker_stats() const {
+  std::vector<MorselWorkerStats> out(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    out[i].tasks = slots_[i]->tasks.load();
+    out[i].steals = slots_[i]->steals.load();
+  }
+  return out;
+}
+
+uint64_t MorselScheduler::total_tasks() const {
+  uint64_t total = caller_tasks_.load();
+  for (const auto& s : slots_) total += s->tasks.load();
+  return total;
+}
+
+const std::shared_ptr<MorselScheduler>& MorselScheduler::Shared() {
+  static const std::shared_ptr<MorselScheduler> shared =
+      std::make_shared<MorselScheduler>(0);
+  return shared;
+}
+
+}  // namespace apq

@@ -1,0 +1,121 @@
+// Morsel-driven intra-operator execution: a work-stealing task scheduler.
+//
+// The thread pool (thread_pool.h) exploits *inter-node* dataflow parallelism:
+// independent plan nodes (exchange clone subtrees) run concurrently, but one
+// dense scan still occupies one core. This scheduler supplies the missing
+// *intra-operator* axis, HyPer-style: an operator's input is split into
+// fixed-size morsels (~64K rows, see exec/morsel_source.h), each morsel is an
+// independent task producing a thread-local result fragment, and fragments
+// are concatenated in morsel order so results stay bit-identical to serial
+// whole-column execution.
+//
+// Scheduling is work-stealing over per-worker deques: a ParallelFor call
+// distributes its morsels in contiguous blocks across the workers' deques,
+// each worker pops its own deque LIFO (the block it was dealt, cache-warm)
+// and steals FIFO from a victim when its own deque runs dry (cold end of the
+// victim's block, classic Chase-Lev discipline with a small mutex per deque —
+// morsel tasks are tens of microseconds, so lock cost is noise).
+//
+// The scheduler is *shared*: many queries (and many node-pool workers inside
+// one query) may call ParallelFor concurrently; their morsels interleave on
+// one worker fleet instead of each query spawning its own pool. The calling
+// thread participates in its own job until no unclaimed morsels of that job
+// remain, so a query never fully blocks behind another query's backlog.
+#ifndef APQ_SCHED_MORSEL_SCHEDULER_H_
+#define APQ_SCHED_MORSEL_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apq {
+
+/// \brief What one scheduler worker has done over its lifetime (observability
+/// for benches and the concurrent-workload example; read when quiescent).
+struct MorselWorkerStats {
+  uint64_t tasks = 0;   ///< morsel tasks this worker executed
+  uint64_t steals = 0;  ///< of those, taken from another worker's deque
+};
+
+/// \brief Work-stealing morsel scheduler with per-worker deques.
+///
+/// Thread-safe: ParallelFor may be called from any number of threads
+/// concurrently (multi-query sharing). Tasks must not call ParallelFor on the
+/// same scheduler (no nesting; the evaluator never does).
+class MorselScheduler {
+ public:
+  /// Spawns `num_workers` workers; 0 = one per hardware thread.
+  explicit MorselScheduler(int num_workers = 0);
+
+  /// Joins all workers. All ParallelFor calls must have returned.
+  ~MorselScheduler();
+
+  MorselScheduler(const MorselScheduler&) = delete;
+  MorselScheduler& operator=(const MorselScheduler&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `fn(task_index, worker)` for every task_index in [0, num_tasks),
+  /// potentially in parallel, and returns when all have completed. `worker`
+  /// is the executing worker id, or kCallerWorker when the submitting thread
+  /// ran the task itself. Task order is unspecified; callers must make
+  /// results order-independent (index into a fragment array).
+  void ParallelFor(size_t num_tasks,
+                   const std::function<void(size_t, int)>& fn);
+
+  /// Worker id reported for tasks the submitting thread executed.
+  static constexpr int kCallerWorker = -1;
+
+  /// Per-worker lifetime counters (tasks run by submitting threads are in
+  /// caller_tasks()).
+  std::vector<MorselWorkerStats> worker_stats() const;
+  uint64_t caller_tasks() const { return caller_tasks_.load(); }
+  /// Total morsel tasks completed (workers + callers).
+  uint64_t total_tasks() const;
+
+  /// A process-wide scheduler (hardware-sized) for callers that want the
+  /// default shared fleet without wiring one through explicitly.
+  static const std::shared_ptr<MorselScheduler>& Shared();
+
+ private:
+  struct Job;
+  struct Task {
+    Job* job = nullptr;
+    size_t index = 0;
+  };
+  // One worker's deque + counters, padded so neighbours don't false-share.
+  struct alignas(64) WorkerSlot {
+    std::mutex mu;
+    std::deque<Task> dq;
+    std::atomic<uint64_t> tasks{0};
+    std::atomic<uint64_t> steals{0};
+  };
+
+  void WorkerLoop(int w);
+  bool PopOwn(int w, Task* out);
+  bool StealAny(int w, Task* out);
+  bool PopForJob(Job* job, Task* out);
+  static void RunTask(const Task& t, int worker);
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> caller_tasks_{0};
+  std::atomic<size_t> next_deal_{0};  // round-robin base for job distribution
+
+  // Sleep/wake: workers wait on idle_cv_ when the whole system is out of
+  // tasks; pending_ counts submitted-but-unclaimed tasks.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<size_t> pending_{0};
+  bool stop_ = false;
+};
+
+}  // namespace apq
+
+#endif  // APQ_SCHED_MORSEL_SCHEDULER_H_

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 #include "adaptive/mutator.h"
+#include "sched/morsel_scheduler.h"
 #include "exec/compare.h"
 #include "exec/evaluator.h"
 #include "heuristic/parallelizer.h"
@@ -43,14 +45,22 @@ TEST(ThreadPoolTest, TasksMaySubmitTasks) {
   std::atomic<int> remaining{10};
   std::mutex mu;
   std::condition_variable cv;
+  // Notify under the lock: the waiter destroys cv right after the predicate
+  // holds, so an unlocked notify races with both the re-block and teardown.
+  auto finish_one = [&] {
+    if (remaining.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(mu);
+      cv.notify_all();
+    }
+  };
   for (int i = 0; i < 5; ++i) {
     pool.Submit([&] {
       count.fetch_add(1);
       pool.Submit([&] {
         count.fetch_add(1);
-        if (remaining.fetch_sub(1) == 1) cv.notify_all();
+        finish_one();
       });
-      if (remaining.fetch_sub(1) == 1) cv.notify_all();
+      finish_one();
     });
   }
   std::unique_lock<std::mutex> lock(mu);
@@ -188,6 +198,138 @@ TEST_F(ParallelExecTest, SharedHashCacheBuildsOnce) {
   for (const auto& m : er2.metrics) builds2 += m.hash_build_rows;
   EXPECT_GT(builds1, 0u);
   EXPECT_EQ(builds2, 0u);  // second run: all inners cached
+}
+
+// ---- morsel-driven intra-operator execution --------------------------------
+
+TEST_F(ParallelExecTest, MorselExecutionIsDeterministicAcrossWorkerCounts) {
+  // An *unmutated* serial plan: without morsels it runs on one core; with
+  // them, its dense select / fetch-join split across the scheduler. Results
+  // must be bit-identical to whole-column execution at every worker count.
+  for (const auto& name : Tpch::QueryNames()) {
+    auto plan = Tpch::Query(*cat_, name);
+    ASSERT_TRUE(plan.ok()) << name;
+    Evaluator whole;  // kernels, whole-column
+    EvalResult base;
+    ASSERT_TRUE(whole.Execute(plan.ValueOrDie(), &base).ok()) << name;
+    for (int workers : {1, 2, 4, 8}) {
+      ExecOptions o;
+      o.use_morsels = true;
+      o.morsel_rows = 512;  // lineitem_rows = 6000: every dense scan splits
+      o.morsel_workers = workers;
+      Evaluator morsel(o);
+      EvalResult got;
+      ASSERT_TRUE(morsel.Execute(plan.ValueOrDie(), &got).ok())
+          << name << " workers=" << workers;
+      EXPECT_EQ(DiffIntermediates(base.result, got.result), "")
+          << name << " workers=" << workers;
+      ASSERT_EQ(base.metrics.size(), got.metrics.size());
+      for (size_t i = 0; i < base.metrics.size(); ++i) {
+        EXPECT_EQ(base.metrics[i].tuples_out, got.metrics[i].tuples_out)
+            << name << " workers=" << workers << " op " << i;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelExecTest, MorselsComposeWithNodePoolExecution) {
+  // Both parallelism axes at once: exchange clones on the node pool, each
+  // clone's scan split into morsels on the shared morsel scheduler.
+  auto q6 = Tpch::Q6(*cat_);
+  ASSERT_TRUE(q6.ok());
+  HeuristicParallelizer hp(HeuristicConfig{.dop = 4});
+  auto plan = hp.Parallelize(q6.ValueOrDie());
+  ASSERT_TRUE(plan.ok());
+
+  Evaluator serial(ExecOptions{true, 1});
+  EvalResult base;
+  ASSERT_TRUE(serial.Execute(plan.ValueOrDie(), &base).ok());
+
+  ExecOptions o;
+  o.num_threads = 4;
+  o.use_morsels = true;
+  o.morsel_rows = 256;
+  o.morsel_workers = 4;
+  Evaluator both(o);
+  for (int rep = 0; rep < 3; ++rep) {
+    EvalResult got;
+    ASSERT_TRUE(both.Execute(plan.ValueOrDie(), &got).ok()) << rep;
+    EXPECT_EQ(DiffIntermediates(base.result, got.result), "") << rep;
+  }
+}
+
+TEST_F(ParallelExecTest, ConcurrentQueriesMultiplexOneScheduler) {
+  // Two evaluators, two plans, one injected scheduler: the heavy-traffic
+  // configuration. Every query's result must stay exact.
+  auto sched = std::make_shared<MorselScheduler>(4);
+  auto q6 = Tpch::Q6(*cat_);
+  auto q14 = Tpch::Query(*cat_, "Q14");
+  ASSERT_TRUE(q6.ok() && q14.ok());
+
+  Evaluator whole;
+  EvalResult base6, base14;
+  ASSERT_TRUE(whole.Execute(q6.ValueOrDie(), &base6).ok());
+  ASSERT_TRUE(whole.Execute(q14.ValueOrDie(), &base14).ok());
+
+  ExecOptions o;
+  o.use_morsels = true;
+  o.morsel_rows = 512;
+  Evaluator e6(o), e14(o);
+  e6.set_morsel_scheduler(sched);
+  e14.set_morsel_scheduler(sched);
+
+  std::thread t6([&] {
+    for (int rep = 0; rep < 4; ++rep) {
+      EvalResult er;
+      ASSERT_TRUE(e6.Execute(q6.ValueOrDie(), &er).ok());
+      EXPECT_EQ(DiffIntermediates(base6.result, er.result), "");
+    }
+  });
+  std::thread t14([&] {
+    for (int rep = 0; rep < 4; ++rep) {
+      EvalResult er;
+      ASSERT_TRUE(e14.Execute(q14.ValueOrDie(), &er).ok());
+      EXPECT_EQ(DiffIntermediates(base14.result, er.result), "");
+    }
+  });
+  t6.join();
+  t14.join();
+  EXPECT_GT(sched->total_tasks(), 0u);
+}
+
+TEST_F(ParallelExecTest, ConcurrentFirstBuildsOfDifferentInnersDontSerialize) {
+  // The per-column build latch: one plan with two joins over *different*
+  // inner columns, executed on the node pool — the two first builds run
+  // concurrently (previously serialized under the single cache mutex). Each
+  // inner is built exactly once and the cache stays warm afterwards.
+  auto fk1 = Column::MakeInt64("fk1", std::vector<int64_t>(4000, 1));
+  auto fk2 = Column::MakeInt64("fk2", std::vector<int64_t>(4000, 2));
+  std::vector<int64_t> pk1v(512), pk2v(1024);
+  for (size_t i = 0; i < pk1v.size(); ++i) pk1v[i] = static_cast<int64_t>(i);
+  for (size_t i = 0; i < pk2v.size(); ++i) pk2v[i] = static_cast<int64_t>(i);
+  auto pk1 = Column::MakeInt64("pk1", std::move(pk1v));
+  auto pk2 = Column::MakeInt64("pk2", std::move(pk2v));
+
+  PlanBuilder b("two_inners");
+  int j1 = b.JoinLeaf(fk1.get(), pk1.get());
+  int j2 = b.JoinLeaf(fk2.get(), pk2.get());
+  int c1 = b.AggScalar(AggFn::kCount, j1);
+  int c2 = b.AggScalar(AggFn::kCount, j2);
+  int sum = b.Map2(MapFn::kAdd, c1, c2);
+  QueryPlan plan = b.Result(sum);
+
+  Evaluator threaded(ExecOptions{true, 4});
+  EvalResult er;
+  ASSERT_TRUE(threaded.Execute(plan, &er).ok());
+  EXPECT_DOUBLE_EQ(er.result.scalar, 8000.0);
+  uint64_t builds = 0;
+  for (const auto& m : er.metrics) builds += m.hash_build_rows;
+  EXPECT_EQ(builds, 512u + 1024u);  // both inners built, each exactly once
+  EvalResult warm;
+  ASSERT_TRUE(threaded.Execute(plan, &warm).ok());
+  uint64_t warm_builds = 0;
+  for (const auto& m : warm.metrics) warm_builds += m.hash_build_rows;
+  EXPECT_EQ(warm_builds, 0u);
 }
 
 TEST_F(ParallelExecTest, WallClockIsReported) {
