@@ -35,6 +35,9 @@ struct EngineConfig {
   bool use_morsels = false;
   uint64_t morsel_rows = kDefaultMorselRows;
   int morsel_workers = 0;  // 0 = one per hardware thread
+  /// Morsel-parallel aggregation + hash-join probe (exec/agg/; see
+  /// ExecOptions::use_parallel_agg). Only active when morsels are on.
+  bool use_parallel_agg = true;
   /// Morsel scheduler to share with other engines/queries. When null and
   /// use_morsels is set, the engine creates its own; pass
   /// MorselScheduler::Shared() (or another engine's morsel_scheduler()) so
@@ -135,6 +138,7 @@ class Engine {
     o.use_morsels = c.use_morsels || c.morsel_scheduler != nullptr;
     o.morsel_rows = c.morsel_rows;
     o.morsel_workers = c.morsel_workers;
+    o.use_parallel_agg = c.use_parallel_agg;
     return o;
   }
 

@@ -1,0 +1,179 @@
+#include "exec/agg/parallel_agg.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/hash_clock.h"
+
+namespace apq {
+
+size_t ParallelGroupBy(const int64_t* keys, uint64_t n,
+                       const ParallelAggOptions& opts,
+                       std::vector<int64_t>* out_gids,
+                       std::vector<int64_t>* out_keys,
+                       std::vector<MorselMetrics>* morsels) {
+  MorselSource src(0, n, opts.morsel_rows);
+  const size_t nm = src.num_morsels();
+  if (nm < 2 || opts.scheduler == nullptr) return 0;
+  MorselScheduler& sched = *opts.scheduler;
+
+  const size_t base = out_gids->size();
+  out_gids->resize(base + n);
+  int64_t* gids = out_gids->data() + base;
+
+  // Phase 1 — thread-local ingest. Table index 0 belongs to the submitting
+  // thread (kCallerWorker), 1..W to the scheduler workers; a worker runs one
+  // task at a time, so its table needs no synchronization. Rows get their
+  // *local* group id for now; table_of remembers which table owns each
+  // morsel's ids for the relabel pass.
+  const size_t ntables = static_cast<size_t>(sched.num_workers()) + 1;
+  std::vector<AggTable> tables(ntables);
+  std::vector<int> table_of(nm, 0);
+  std::vector<MorselMetrics> mm(nm);
+  sched.ParallelFor(nm, [&](size_t i, int worker) {
+    const Morsel ms = src.morsel(i);
+    const double t0 = NowNs();
+    const int t = worker + 1;  // kCallerWorker = -1 -> slot 0
+    AggTable& tab = tables[t];
+    for (uint64_t pos = ms.begin; pos < ms.end; ++pos) {
+      gids[pos] = tab.FindOrInsert(keys[pos], pos);
+    }
+    table_of[i] = t;
+    mm[i] = MorselMetrics{ms.size(), ms.size(), NowNs() - t0, worker};
+  });
+
+  // Phase 2 — partitioned merge: each radix partition of the key hash is
+  // merged by one worker, computing per key the minimum first-occurrence
+  // position across all thread-local tables (schedule-invariant even though
+  // each table's content depends on which morsels its worker ran). Tables
+  // bucket their groups by partition first, so total merge work is one pass
+  // over the groups rather than one pass per partition.
+  const size_t nparts = NextPow2(ntables);
+  std::vector<std::vector<std::vector<uint32_t>>> tbuckets(ntables);
+  sched.ParallelFor(ntables, [&](size_t t, int) {
+    const AggTable& tab = tables[t];
+    tbuckets[t].resize(nparts);
+    for (uint32_t s = 0; s < tab.num_groups(); ++s) {
+      tbuckets[t][AggTable::Mix(tab.key(s)) & (nparts - 1)].push_back(s);
+    }
+  });
+  std::vector<AggTable> parts(nparts);
+  sched.ParallelFor(nparts, [&](size_t p, int) {
+    AggTable& pt = parts[p];
+    for (size_t t = 0; t < ntables; ++t) {
+      const AggTable& tab = tables[t];
+      for (uint32_t s : tbuckets[t][p]) {
+        pt.FindOrInsert(tab.key(s), tab.first_pos(s));
+      }
+    }
+  });
+
+  // Phase 3 — global renumbering: rank keys by earliest occurrence. Input
+  // positions are unique, so the order (and thus every group id) is total
+  // and identical to the scalar path's insertion order.
+  std::vector<std::pair<uint64_t, int64_t>> order;  // (first_pos, key)
+  {
+    size_t total = 0;
+    for (const AggTable& pt : parts) total += pt.num_groups();
+    order.reserve(total);
+  }
+  for (const AggTable& pt : parts) {
+    const uint64_t g = pt.num_groups();
+    for (uint32_t s = 0; s < g; ++s) {
+      order.emplace_back(pt.first_pos(s), pt.key(s));
+    }
+  }
+  std::sort(order.begin(), order.end());
+  AggTable global(order.size());
+  out_keys->reserve(out_keys->size() + order.size());
+  for (const auto& [pos, key] : order) {
+    global.FindOrInsert(key, pos);  // slot ids follow insertion = rank order
+    out_keys->push_back(key);
+  }
+
+  // Phase 4 — relabel local ids to global ids: one lookup per *group* to
+  // build each table's translation, then one array load per row.
+  std::vector<std::vector<int64_t>> l2g(ntables);
+  sched.ParallelFor(ntables, [&](size_t t, int) {
+    const AggTable& tab = tables[t];
+    l2g[t].resize(tab.num_groups());
+    for (uint32_t s = 0; s < tab.num_groups(); ++s) {
+      l2g[t][s] = global.Find(tab.key(s));
+    }
+  });
+  sched.ParallelFor(nm, [&](size_t i, int) {
+    const Morsel ms = src.morsel(i);
+    const std::vector<int64_t>& map = l2g[table_of[i]];
+    for (uint64_t pos = ms.begin; pos < ms.end; ++pos) {
+      gids[pos] = map[gids[pos]];
+    }
+  });
+
+  morsels->insert(morsels->end(), mm.begin(), mm.end());
+  return nm;
+}
+
+size_t ParallelGroupedAgg(const int64_t* gids, uint64_t n,
+                          const double* vals_f64, const int64_t* vals_i64,
+                          AggFn fn, uint64_t ngroups,
+                          const ParallelAggOptions& opts, double* out_vals,
+                          int64_t* out_counts) {
+  MorselSource src(0, n, opts.morsel_rows);
+  const size_t nm = src.num_morsels();
+  if (nm < 2 || opts.scheduler == nullptr || ngroups == 0) return 0;
+  MorselScheduler& sched = *opts.scheduler;
+
+  // Phase 1 — per-morsel partials. Tables are per *morsel*, not per worker:
+  // the merge folds them in morsel index order, so the result is independent
+  // of which worker ran what (per-worker partials would reassociate
+  // differently every run). Each morsel buckets its groups by output
+  // partition as it finishes, so the merge scans every group exactly once.
+  size_t nparts = static_cast<size_t>(sched.num_workers()) + 1;
+  if (nparts > ngroups) nparts = ngroups;
+  std::vector<AggTable> partials(nm);
+  std::vector<std::vector<std::vector<uint32_t>>> pbuckets(nm);
+  sched.ParallelFor(nm, [&](size_t i, int) {
+    AggTable& tab = partials[i];
+    const Morsel ms = src.morsel(i);
+    for (uint64_t pos = ms.begin; pos < ms.end; ++pos) {
+      const double v = vals_f64 != nullptr ? vals_f64[pos]
+                       : vals_i64 != nullptr
+                           ? static_cast<double>(vals_i64[pos])
+                           : 1.0;
+      tab.Update(fn, gids[pos], v, pos);
+    }
+    pbuckets[i].resize(nparts);
+    for (uint32_t s = 0; s < tab.num_groups(); ++s) {
+      const uint64_t gid = static_cast<uint64_t>(tab.key(s));
+      pbuckets[i][gid * nparts / ngroups].push_back(s);
+    }
+  });
+
+  // Phase 2 — merge: partition p owns the group ids with
+  // gid * nparts / ngroups == p (a contiguous range), so each output slot is
+  // folded by exactly one worker and the folds race with nothing.
+  sched.ParallelFor(nparts, [&](size_t p, int) {
+    for (size_t i = 0; i < nm; ++i) {
+      const AggTable& tab = partials[i];
+      for (uint32_t s : pbuckets[i][p]) {
+        const int64_t gid = tab.key(s);
+        switch (fn) {
+          case AggFn::kSum:
+          case AggFn::kAvg:
+          case AggFn::kCount: out_vals[gid] += tab.agg_val(s); break;
+          case AggFn::kMin:
+            out_vals[gid] = std::min(out_vals[gid], tab.agg_val(s));
+            break;
+          case AggFn::kMax:
+            out_vals[gid] = std::max(out_vals[gid], tab.agg_val(s));
+            break;
+          case AggFn::kNone: break;
+        }
+        out_counts[gid] += tab.agg_count(s);
+      }
+    }
+  });
+  return nm;
+}
+
+}  // namespace apq

@@ -1,13 +1,14 @@
 #include "exec/evaluator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <numeric>
 #include <unordered_map>
 
+#include "exec/agg/parallel_agg.h"
 #include "exec/kernels.h"
+#include "util/hash_clock.h"
 
 namespace apq {
 
@@ -35,13 +36,6 @@ void GatherInto(const Column& col, oid row, ValueVec* vals) {
   } else {
     vals->i64.push_back(col.i64()[row]);
   }
-}
-
-double NowNs() {
-  return static_cast<double>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
 }
 
 Status InputSlot(const std::vector<Intermediate>& slots,
@@ -80,6 +74,11 @@ uint64_t ForcedMorselRowsFromEnv() {
 bool Evaluator::MorselsEnabled() const {
   return options_.use_kernels &&
          (options_.use_morsels || ForcedMorselRowsFromEnv() != 0);
+}
+
+bool Evaluator::ParallelAggEnabled() const {
+  return MorselsEnabled() &&
+         (options_.use_parallel_agg || ForcedMorselRowsFromEnv() != 0);
 }
 
 uint64_t Evaluator::EffectiveMorselRows() const {
@@ -238,6 +237,77 @@ Status Evaluator::MorselGather(const Column& col, const std::vector<oid>& ids,
   }
   m->morsels = std::move(mm);
   return Status::OK();
+}
+
+size_t Evaluator::MorselGroupBy(const int64_t* keys, uint64_t n,
+                                Intermediate* result, OpMetrics* m) {
+  ParallelAggOptions o;
+  o.morsel_rows = EffectiveMorselRows();
+  o.scheduler = EnsureMorselScheduler().get();
+  std::vector<MorselMetrics> mm;
+  const size_t nm = ParallelGroupBy(keys, n, o, &result->group_ids,
+                                    &result->group_keys.i64, &mm);
+  if (nm > 0) m->morsels = std::move(mm);
+  return nm;
+}
+
+size_t Evaluator::MorselGroupedAgg(const int64_t* gids, uint64_t n,
+                                   const ValueVec* vals, AggFn fn,
+                                   uint64_t ngroups, Intermediate* result) {
+  const double* vf = nullptr;
+  const int64_t* vi = nullptr;
+  if (vals != nullptr) {
+    if (vals->is_f64()) {
+      vf = vals->f64.data();
+    } else {
+      vi = vals->i64.data();
+    }
+  }
+  ParallelAggOptions o;
+  o.morsel_rows = EffectiveMorselRows();
+  o.scheduler = EnsureMorselScheduler().get();
+  // No per-morsel metrics here: a morsel's output is a partial over an
+  // unknowable share of the ngroups output rows, so per-morsel tuple counts
+  // could not sum to the operator totals the profiler relies on.
+  return ParallelGroupedAgg(gids, n, vf, vi, fn, ngroups, o,
+                            result->agg_vals.data(),
+                            result->agg_counts.data());
+}
+
+size_t Evaluator::MorselJoinProbe(
+    uint64_t n,
+    const std::function<void(uint64_t, uint64_t, std::vector<oid>*,
+                             std::vector<oid>*)>& probe_span,
+    Intermediate* result, OpMetrics* m) {
+  MorselSource src(0, n, EffectiveMorselRows());
+  const size_t nm = src.num_morsels();
+  if (nm < 2) return 0;
+
+  // Per-probe match order is the hash chain order of one shared (read-only)
+  // build, so concatenating per-morsel pair fragments in morsel order
+  // reproduces the sequential probe loop bit-for-bit.
+  struct Frag {
+    std::vector<oid> l, r;
+  };
+  std::vector<Frag> frags(nm);
+  std::vector<MorselMetrics> mm(nm);
+  EnsureMorselScheduler()->ParallelFor(nm, [&](size_t i, int worker) {
+    const Morsel ms = src.morsel(i);
+    const double t0 = NowNs();
+    probe_span(ms.begin, ms.end, &frags[i].l, &frags[i].r);
+    mm[i] = MorselMetrics{ms.size(), frags[i].l.size(), NowNs() - t0, worker};
+  });
+
+  size_t total = 0;
+  for (const auto& f : frags) total += f.l.size();
+  result->rowids.reserve(result->rowids.size() + total);
+  result->rrowids.reserve(result->rrowids.size() + total);
+  for (const auto& f : frags) {
+    result->rowids.insert(result->rowids.end(), f.l.begin(), f.l.end());
+    result->rrowids.insert(result->rrowids.end(), f.r.begin(), f.r.end());
+  }
+  m->morsels = std::move(mm);
+  return nm;
 }
 
 std::shared_ptr<HashIndex> Evaluator::GetOrBuildHash(const Column& column) {
@@ -622,13 +692,32 @@ Status Evaluator::ExecJoin(const PlanNode& node, const ExecContext& ctx,
   const std::shared_ptr<HashIndex> hash = GetOrBuildHash(inner);
   result->kind = Intermediate::Kind::kPairs;
 
-  // Per-probe matches are appended to rrowids by the index; the outer row id
-  // is then replicated in one batched fill instead of per-match push_backs.
-  auto probe = [&](int64_t key, oid outer_row) {
-    size_t before = result->rrowids.size();
-    hash->Probe(key, &result->rrowids);
-    result->rowids.insert(result->rowids.end(),
-                          result->rrowids.size() - before, outer_row);
+  // Per-probe matches are appended to the right-side vector by the index;
+  // the outer row id is then replicated in one batched fill instead of
+  // per-match push_backs.
+  auto probe_into = [&hash](int64_t key, oid outer_row, std::vector<oid>* l,
+                            std::vector<oid>* r) {
+    size_t before = r->size();
+    hash->Probe(key, r);
+    l->insert(l->end(), r->size() - before, outer_row);
+  };
+  // Each input shape defines its probe loop once, as a span over input
+  // positions [b, e): the morsel-parallel tier (exec/agg) runs it per morsel
+  // into ordered pair fragments, and when that declines (input fits one
+  // morsel, or the tier is off) the same span runs sequentially over the
+  // whole input into the result vectors. One loop body per shape — the
+  // parallel and sequential paths cannot diverge.
+  auto run_probe = [&](uint64_t n,
+                       const std::function<void(uint64_t, uint64_t,
+                                                std::vector<oid>*,
+                                                std::vector<oid>*)>& span) {
+    size_t nm = 0;
+    if (ParallelAggEnabled()) nm = MorselJoinProbe(n, span, result, m);
+    if (nm == 0) {
+      result->rowids.reserve(n);
+      result->rrowids.reserve(n);
+      span(0, n, &result->rowids, &result->rrowids);
+    }
   };
 
   if (!node.inputs.empty()) {
@@ -641,13 +730,14 @@ Status Evaluator::ExecJoin(const PlanNode& node, const ExecContext& ctx,
       RowRange range = node.has_slice ? node.slice : in->origin;
       result->origin = range;
       m->tuples_in = n;
-      result->rowids.reserve(n);
-      result->rrowids.reserve(n);
-      for (uint64_t i = 0; i < n; ++i) {
-        oid outer_row = has_head ? in->head[i] : in->origin.begin + i;
-        if (node.has_slice && !range.Contains(outer_row)) continue;
-        probe(in->values.AsInt(i), outer_row);
-      }
+      run_probe(n, [&](uint64_t b, uint64_t e, std::vector<oid>* l,
+                       std::vector<oid>* r) {
+        for (uint64_t i = b; i < e; ++i) {
+          oid outer_row = has_head ? in->head[i] : in->origin.begin + i;
+          if (node.has_slice && !range.Contains(outer_row)) continue;
+          probe_into(in->values.AsInt(i), outer_row, l, r);
+        }
+      });
     } else if (in->kind == Intermediate::Kind::kRowIds) {
       if (!node.column) {
         return Status::InvalidArgument("join over rowids needs an outer column");
@@ -656,12 +746,15 @@ Status Evaluator::ExecJoin(const PlanNode& node, const ExecContext& ctx,
       RowRange range = node.has_slice ? node.slice : in->origin;
       result->origin = range;
       m->tuples_in = in->rowids.size();
-      result->rowids.reserve(in->rowids.size());
-      result->rrowids.reserve(in->rowids.size());
-      for (oid row : in->rowids) {
-        if (node.has_slice && !range.Contains(row)) continue;
-        probe(outer.i64()[row], row);
-      }
+      const std::vector<oid>& cand = in->rowids;
+      run_probe(cand.size(), [&](uint64_t b, uint64_t e, std::vector<oid>* l,
+                                 std::vector<oid>* r) {
+        for (uint64_t i = b; i < e; ++i) {
+          oid row = cand[i];
+          if (node.has_slice && !range.Contains(row)) continue;
+          probe_into(outer.i64()[row], row, l, r);
+        }
+      });
     } else {
       return Status::InvalidArgument("join input must be values or rowids");
     }
@@ -671,11 +764,13 @@ Status Evaluator::ExecJoin(const PlanNode& node, const ExecContext& ctx,
     RowRange range = node.EffectiveRange();
     result->origin = range;
     m->tuples_in = range.size();
-    result->rowids.reserve(range.size());
-    result->rrowids.reserve(range.size());
-    for (oid row = range.begin; row < range.end; ++row) {
-      probe(outer.i64()[row], row);
-    }
+    run_probe(range.size(), [&](uint64_t b, uint64_t e, std::vector<oid>* l,
+                                std::vector<oid>* r) {
+      for (uint64_t i = b; i < e; ++i) {
+        oid row = range.begin + i;
+        probe_into(outer.i64()[row], row, l, r);
+      }
+    });
   }
   m->tuples_out = result->rowids.size();
   m->random_accesses = m->tuples_in;
@@ -688,13 +783,25 @@ Status Evaluator::ExecJoin(const PlanNode& node, const ExecContext& ctx,
 Status Evaluator::ExecGroupBy(const PlanNode& node, const ExecContext& ctx,
                               Intermediate* result, OpMetrics* m) {
   result->kind = Intermediate::Kind::kGroups;
-  std::unordered_map<int64_t, int64_t> key_to_gid;
 
-  auto ingest = [&](int64_t key) {
-    auto [it, inserted] =
-        key_to_gid.emplace(key, static_cast<int64_t>(key_to_gid.size()));
-    if (inserted) result->group_keys.i64.push_back(key);
-    result->group_ids.push_back(it->second);
+  // Sequential ingest (the tiers' differential oracle). The map and key
+  // vector are sized up front from the input cardinality — capped, so a
+  // low-cardinality group-by over millions of rows doesn't pay an O(n)
+  // allocation for a ten-entry map; past the cap, doubling growth costs a
+  // handful of rehashes instead of the per-insert regrowth this replaces.
+  auto ingest_all = [&](auto key_at, uint64_t n) {
+    const uint64_t cap = std::min<uint64_t>(n, uint64_t{1} << 16);
+    std::unordered_map<int64_t, int64_t> key_to_gid;
+    key_to_gid.reserve(cap);
+    result->group_keys.i64.reserve(cap);
+    result->group_ids.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      const int64_t key = key_at(i);
+      auto [it, inserted] =
+          key_to_gid.emplace(key, static_cast<int64_t>(key_to_gid.size()));
+      if (inserted) result->group_keys.i64.push_back(key);
+      result->group_ids.push_back(it->second);
+    }
   };
 
   if (!node.inputs.empty()) {
@@ -709,8 +816,15 @@ Status Evaluator::ExecGroupBy(const PlanNode& node, const ExecContext& ctx,
     result->head = in->head;
     uint64_t n = in->values.size();
     m->tuples_in = n;
-    result->group_ids.reserve(n);
-    for (uint64_t i = 0; i < n; ++i) ingest(in->values.AsInt(i));
+    // Parallel ingest (exec/agg tier) needs contiguous int64 keys; f64 group
+    // keys (rare — AsInt truncation per row) stay sequential.
+    size_t nm = 0;
+    if (ParallelAggEnabled() && !in->values.is_f64()) {
+      nm = MorselGroupBy(in->values.i64.data(), n, result, m);
+    }
+    if (nm == 0) {
+      ingest_all([&](uint64_t i) { return in->values.AsInt(i); }, n);
+    }
   } else {
     const Column& col = *node.column;
     RowRange range = node.EffectiveRange();
@@ -718,12 +832,20 @@ Status Evaluator::ExecGroupBy(const PlanNode& node, const ExecContext& ctx,
     result->group_keys.type = DataType::kInt64;
     result->origin = range;
     m->tuples_in = range.size();
-    result->group_ids.reserve(range.size());
-    for (oid row = range.begin; row < range.end; ++row) ingest(col.i64()[row]);
+    size_t nm = 0;
+    if (ParallelAggEnabled()) {
+      nm = MorselGroupBy(col.i64().data() + range.begin, range.size(), result,
+                         m);
+    }
+    if (nm == 0) {
+      ingest_all([&](uint64_t i) { return col.i64()[range.begin + i]; },
+                 range.size());
+    }
   }
   m->tuples_out = result->group_ids.size();
   m->random_accesses = m->tuples_in;
-  m->random_working_set = key_to_gid.size() * 32;
+  // One entry per distinct key (group_keys holds int64 keys on every path).
+  m->random_working_set = result->group_keys.i64.size() * 32;
   m->bytes_in = m->tuples_in * 8;
   m->bytes_out = m->tuples_out * 8 + result->group_keys.size() * 8;
   return Status::OK();
@@ -761,22 +883,34 @@ Status Evaluator::ExecAggregate(const PlanNode& node, const ExecContext& ctx,
     result->agg_vals.assign(ngroups, init);
     uint64_t n = first->group_ids.size();
     m->tuples_in = n;
-    for (uint64_t i = 0; i < n; ++i) {
-      int64_t g = first->group_ids[i];
-      double v = vals ? vals->values.AsDouble(i) : 1.0;
-      switch (node.agg_fn) {
-        case AggFn::kSum:
-        case AggFn::kAvg: result->agg_vals[g] += v; break;
-        case AggFn::kCount: result->agg_vals[g] += 1.0; break;
-        case AggFn::kMin:
-          result->agg_vals[g] = std::min(result->agg_vals[g], v);
-          break;
-        case AggFn::kMax:
-          result->agg_vals[g] = std::max(result->agg_vals[g], v);
-          break;
-        case AggFn::kNone: break;
+    // Parallel grouped aggregation (exec/agg tier): per-morsel partial
+    // tables merged over group-id ranges. COUNT/MIN/MAX and all counts are
+    // bit-identical to the loop below; SUM/AVG merge partial sums in morsel
+    // order (deterministic, last-bit reassociation vs the sequential fold).
+    size_t nm = 0;
+    if (ParallelAggEnabled() && ngroups > 0) {
+      nm = MorselGroupedAgg(first->group_ids.data(), n,
+                            vals ? &vals->values : nullptr, node.agg_fn,
+                            ngroups, result);
+    }
+    if (nm == 0) {
+      for (uint64_t i = 0; i < n; ++i) {
+        int64_t g = first->group_ids[i];
+        double v = vals ? vals->values.AsDouble(i) : 1.0;
+        switch (node.agg_fn) {
+          case AggFn::kSum:
+          case AggFn::kAvg: result->agg_vals[g] += v; break;
+          case AggFn::kCount: result->agg_vals[g] += 1.0; break;
+          case AggFn::kMin:
+            result->agg_vals[g] = std::min(result->agg_vals[g], v);
+            break;
+          case AggFn::kMax:
+            result->agg_vals[g] = std::max(result->agg_vals[g], v);
+            break;
+          case AggFn::kNone: break;
+        }
+        result->agg_counts[g] += 1;
       }
-      result->agg_counts[g] += 1;
     }
     if (node.agg_fn == AggFn::kAvg) {
       for (size_t g = 0; g < ngroups; ++g) {

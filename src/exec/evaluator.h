@@ -15,6 +15,7 @@
 #ifndef APQ_EXEC_EVALUATOR_H_
 #define APQ_EXEC_EVALUATOR_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -29,17 +30,6 @@
 #include "util/status.h"
 
 namespace apq {
-
-/// \brief One morsel's share of an operator execution (intra-operator
-/// parallelism). Tuple counts are deterministic — they depend only on the
-/// morsel partitioning, not on which worker ran the morsel — while wall_ns
-/// and worker are hardware truth and vary run to run.
-struct MorselMetrics {
-  uint64_t tuples_in = 0;
-  uint64_t tuples_out = 0;
-  double wall_ns = 0;
-  int worker = MorselScheduler::kCallerWorker;
-};
 
 /// \brief What one operator execution did, in machine-independent units.
 /// The cost model converts this into virtual time.
@@ -94,6 +84,15 @@ struct ExecOptions {
   /// thread). Ignored when a shared scheduler is injected via
   /// set_morsel_scheduler (the multi-query configuration).
   int morsel_workers = 0;
+  /// Morsel-parallel aggregation and hash-join probe (exec/agg/): group-by
+  /// ingest runs through thread-local AggTables with a partitioned merge
+  /// (group ids renumbered to the scalar first-occurrence order), grouped
+  /// aggregation through per-morsel partials merged by group-id range, and
+  /// the join probe produces ordered pair fragments. Only active when
+  /// morsels are enabled (use_morsels / APQ_FORCE_MORSELS); flip this off to
+  /// keep selects/gathers morselized while aggregation and probe stay
+  /// whole-column.
+  bool use_parallel_agg = true;
 };
 
 /// \brief Interprets plans operator-at-a-time (like MonetDB's MAL
@@ -156,6 +155,11 @@ class Evaluator {
   /// APQ_FORCE_MORSELS=1 environment override) and the vectorized kernels.
   bool MorselsEnabled() const;
 
+  /// True when the parallel aggregation/probe tier applies: morsels enabled
+  /// and use_parallel_agg (APQ_FORCE_MORSELS forces this tier on too, so a
+  /// forced CI run exercises every morselized operator).
+  bool ParallelAggEnabled() const;
+
   /// Rows per morsel actually used: options().morsel_rows, unless
   /// APQ_FORCE_MORSELS carries an explicit row count (e.g. =4096).
   uint64_t EffectiveMorselRows() const;
@@ -217,6 +221,28 @@ class Evaluator {
   Status MorselGather(const Column& col, const std::vector<oid>& ids,
                       RowRange range, bool sliced, AlignPolicy align,
                       Intermediate* result, OpMetrics* m, bool* ran);
+
+  /// Morsel-parallel group-by ingest over keys[0..n) (exec/agg/): fills
+  /// result->group_ids / group_keys.i64 in the scalar first-occurrence
+  /// order. Returns morsels run (0 = take the sequential path).
+  size_t MorselGroupBy(const int64_t* keys, uint64_t n, Intermediate* result,
+                       OpMetrics* m);
+
+  /// Morsel-parallel grouped aggregation into the pre-initialized
+  /// result->agg_vals / agg_counts (AVG left undivided, as sequentially).
+  size_t MorselGroupedAgg(const int64_t* gids, uint64_t n,
+                          const ValueVec* vals, AggFn fn, uint64_t ngroups,
+                          Intermediate* result);
+
+  /// Morsel-parallel hash-join probe: `probe_span(begin, end, l, r)` probes
+  /// input positions [begin, end) appending matches to the fragment vectors;
+  /// fragments are concatenated in morsel order onto result->rowids/rrowids
+  /// — bit-identical to one sequential probe over [0, n).
+  size_t MorselJoinProbe(
+      uint64_t n,
+      const std::function<void(uint64_t, uint64_t, std::vector<oid>*,
+                               std::vector<oid>*)>& probe_span,
+      Intermediate* result, OpMetrics* m);
 
   std::shared_ptr<HashIndex> GetOrBuildHash(const Column& column);
 

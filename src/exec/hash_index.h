@@ -12,6 +12,7 @@
 
 #include "storage/column.h"
 #include "storage/types.h"
+#include "util/hash_clock.h"
 
 namespace apq {
 
@@ -34,12 +35,7 @@ class HashIndex {
   }
 
  private:
-  static uint64_t Mix(int64_t key) {
-    uint64_t z = static_cast<uint64_t>(key) + 0x9E3779B97F4A7C15ULL;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    return z ^ (z >> 31);
-  }
+  static uint64_t Mix(int64_t key) { return MixHash64(key); }
 
   // buckets_ maps hash slot -> 1 + local row offset (0 = empty).
   std::vector<uint32_t> buckets_;

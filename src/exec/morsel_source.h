@@ -20,6 +20,18 @@ namespace apq {
 /// L2-resident; coarse enough that scheduling cost is noise).
 constexpr uint64_t kDefaultMorselRows = 64 * 1024;
 
+/// \brief One morsel's share of an operator execution (intra-operator
+/// parallelism). Tuple counts are deterministic — they depend only on the
+/// morsel partitioning, not on which worker ran the morsel — while wall_ns
+/// and worker are hardware truth and vary run to run.
+struct MorselMetrics {
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  double wall_ns = 0;
+  int worker = -1;  ///< executing scheduler worker; -1 = caller thread
+                    ///< (MorselScheduler::kCallerWorker)
+};
+
 /// \brief One morsel: the half-open interval [begin, end) of the input.
 /// For dense scans these are base-table row ids; for candidate lists they
 /// are positions into the candidate vector.

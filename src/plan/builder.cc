@@ -53,6 +53,15 @@ int PlanBuilder::GroupBy(int values_input, std::string label) {
   return plan_.AddNode(std::move(n));
 }
 
+int PlanBuilder::GroupByLeaf(const Column* column, std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kGroupBy;
+  n.column = column;
+  n.label =
+      label.empty() ? "groupby(" + column->name() + ")" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
 int PlanBuilder::AggScalar(AggFn fn, int input, std::string label) {
   PlanNode n;
   n.kind = OpKind::kAggregate;

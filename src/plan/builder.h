@@ -35,6 +35,9 @@ class PlanBuilder {
   /// Single-attribute group-by over materialized key values.
   int GroupBy(int values_input, std::string label = "");
 
+  /// Leaf group-by: dense scan of a base column's key values.
+  int GroupByLeaf(const Column* column, std::string label = "");
+
   /// Scalar aggregate over values (or count over row ids).
   int AggScalar(AggFn fn, int input, std::string label = "");
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "util/table_printer.h"
+
 namespace apq {
 
 int RunProfile::MostExpensiveIndex() const {
@@ -100,6 +102,26 @@ RunProfile MakeRunProfile(const QueryPlan& plan,
     rp.ops.push_back(op);
   }
   return rp;
+}
+
+std::string RenderOpReport(const RunProfile& profile) {
+  TablePrinter tp({"node", "op", "label", "time_ms", "tuples_in", "tuples_out",
+                   "morsels", "skew"});
+  for (const auto& op : profile.ops) {
+    tp.AddRow({std::to_string(op.node_id), OpKindName(op.kind), op.label,
+               TablePrinter::Fmt(op.duration_ns() / 1e6, 3),
+               std::to_string(op.tuples_in), std::to_string(op.tuples_out),
+               std::to_string(op.num_morsels),
+               op.num_morsels > 0 ? TablePrinter::Fmt(op.morsel_skew, 2)
+                                  : "-"});
+  }
+  std::ostringstream os;
+  os << tp.ToString();
+  os << "makespan " << TablePrinter::Fmt(profile.makespan_ns / 1e6, 3)
+     << " ms, utilization " << TablePrinter::Fmt(profile.utilization * 100, 1)
+     << "%, max morsel skew "
+     << TablePrinter::Fmt(profile.MaxMorselSkew(), 2) << "\n";
+  return os.str();
 }
 
 std::string RenderTomograph(const RunProfile& profile, int width) {

@@ -78,6 +78,13 @@ RunProfile MakeRunProfile(const QueryPlan& plan,
 /// spirit of the paper's tomograph figures (Figs 19/20).
 std::string RenderTomograph(const RunProfile& profile, int width = 72);
 
+/// \brief ASCII per-operator report: one row per operator with its measured
+/// time, tuple flow, morsel count, and intra-operator morsel skew (max/mean
+/// morsel wall time; "-" when the operator ran whole-column), plus a summary
+/// line with the run's worst skew — so imbalance is visible straight from
+/// the printed profile, without walking AdaptiveRun programmatically.
+std::string RenderOpReport(const RunProfile& profile);
+
 }  // namespace apq
 
 #endif  // APQ_PROFILE_PROFILER_H_

@@ -1,0 +1,39 @@
+// Tiny shared primitives used across the execution tiers: the 64-bit hash
+// finalizer (one definition for the join hash index and the aggregation
+// tables, so bucket addressing and radix partitioning never drift apart),
+// a monotonic nanosecond clock for wall-clock/hardware-truth timings, and
+// power-of-two rounding for bucket/partition sizing.
+#ifndef APQ_UTIL_HASH_CLOCK_H_
+#define APQ_UTIL_HASH_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace apq {
+
+/// Murmur3/splitmix-style 64-bit finalizer over an int64 key.
+inline uint64_t MixHash64(int64_t key) {
+  uint64_t z = static_cast<uint64_t>(key) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Smallest power of two >= v (v = 0 or 1 gives 1).
+inline uint64_t NextPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Monotonic wall clock in nanoseconds (steady_clock since epoch).
+inline double NowNs() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace apq
+
+#endif  // APQ_UTIL_HASH_CLOCK_H_

@@ -23,7 +23,8 @@ class TablePrinter {
   }
   static std::string Fmt(int64_t v) { return std::to_string(v); }
 
-  void Print(FILE* out = stdout) const {
+  /// The rendered table as a string (for log sinks and test assertions).
+  std::string ToString() const {
     std::vector<size_t> widths(header_.size(), 0);
     for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
     for (const auto& r : rows_) {
@@ -31,30 +32,39 @@ class TablePrinter {
         if (r[i].size() > widths[i]) widths[i] = r[i].size();
       }
     }
-    PrintRule(out, widths);
-    PrintRow(out, header_, widths);
-    PrintRule(out, widths);
-    for (const auto& r : rows_) PrintRow(out, r, widths);
-    PrintRule(out, widths);
+    std::string out;
+    AppendRule(&out, widths);
+    AppendRow(&out, header_, widths);
+    AppendRule(&out, widths);
+    for (const auto& r : rows_) AppendRow(&out, r, widths);
+    AppendRule(&out, widths);
+    return out;
+  }
+
+  void Print(FILE* out = stdout) const {
+    std::fputs(ToString().c_str(), out);
   }
 
  private:
-  static void PrintRule(FILE* out, const std::vector<size_t>& widths) {
-    std::fputc('+', out);
+  static void AppendRule(std::string* out, const std::vector<size_t>& widths) {
+    out->push_back('+');
     for (size_t w : widths) {
-      for (size_t i = 0; i < w + 2; ++i) std::fputc('-', out);
-      std::fputc('+', out);
+      out->append(w + 2, '-');
+      out->push_back('+');
     }
-    std::fputc('\n', out);
+    out->push_back('\n');
   }
-  static void PrintRow(FILE* out, const std::vector<std::string>& row,
-                       const std::vector<size_t>& widths) {
-    std::fputc('|', out);
+  static void AppendRow(std::string* out, const std::vector<std::string>& row,
+                        const std::vector<size_t>& widths) {
+    out->push_back('|');
     for (size_t i = 0; i < widths.size(); ++i) {
       const std::string& cell = i < row.size() ? row[i] : std::string();
-      std::fprintf(out, " %-*s |", static_cast<int>(widths[i]), cell.c_str());
+      out->push_back(' ');
+      out->append(cell);
+      out->append(widths[i] > cell.size() ? widths[i] - cell.size() : 0, ' ');
+      out->append(" |");
     }
-    std::fputc('\n', out);
+    out->push_back('\n');
   }
 
   std::vector<std::string> header_;

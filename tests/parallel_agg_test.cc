@@ -1,0 +1,467 @@
+// The parallel aggregation subsystem (exec/agg/): AggTable unit tests, and —
+// above all — differential tests of morsel-parallel group-by ingest, grouped
+// aggregation, and hash-join probe against the scalar interpreter and the
+// whole-column kernels, across morsel sizes, worker counts, key
+// distributions, and all aggregate functions. Group ids must reproduce the
+// scalar first-occurrence numbering bit-for-bit; join pairs must concatenate
+// in morsel (= input) order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+
+#include "exec/agg/agg_table.h"
+#include "exec/agg/parallel_agg.h"
+#include "exec/compare.h"
+#include "exec/evaluator.h"
+#include "plan/builder.h"
+#include "util/rng.h"
+
+namespace apq {
+namespace {
+
+// The morsel sizes the acceptance criteria call out: pathological (1), odd
+// (7), sub-default (4096), default (64K), and larger than any test table.
+const uint64_t kMorselSizes[] = {1, 7, 4096, 64 * 1024, 1 << 30};
+const AggFn kAllAggFns[] = {AggFn::kSum, AggFn::kAvg, AggFn::kCount,
+                            AggFn::kMin, AggFn::kMax};
+
+// ---- AggTable --------------------------------------------------------------
+
+TEST(AggTableTest, AssignsSlotsInInsertionOrder) {
+  AggTable t;
+  EXPECT_EQ(t.FindOrInsert(42, 0), 0u);
+  EXPECT_EQ(t.FindOrInsert(-7, 1), 1u);
+  EXPECT_EQ(t.FindOrInsert(42, 2), 0u);  // existing key keeps its slot
+  EXPECT_EQ(t.FindOrInsert(0, 3), 2u);
+  EXPECT_EQ(t.num_groups(), 3u);
+  EXPECT_EQ(t.key(0), 42);
+  EXPECT_EQ(t.key(1), -7);
+  EXPECT_EQ(t.key(2), 0);
+}
+
+TEST(AggTableTest, FindNeverInserts) {
+  AggTable t;
+  EXPECT_EQ(t.Find(5), AggTable::kNoSlot);
+  t.FindOrInsert(5, 0);
+  EXPECT_EQ(t.Find(5), 0u);
+  EXPECT_EQ(t.Find(6), AggTable::kNoSlot);
+  EXPECT_EQ(t.num_groups(), 1u);
+}
+
+TEST(AggTableTest, FirstPosKeepsMinimumAcrossArbitraryIngestOrder) {
+  // Positions arrive out of order (work stealing): the slot must remember
+  // the minimum, which is what makes the merge schedule-invariant.
+  AggTable t;
+  t.FindOrInsert(9, 350000);
+  t.FindOrInsert(9, 130000);
+  t.FindOrInsert(9, 990000);
+  EXPECT_EQ(t.first_pos(t.Find(9)), 130000u);
+}
+
+TEST(AggTableTest, GrowsPastInitialCapacityWithoutLosingKeys) {
+  AggTable t;  // minimal initial buckets: forces several rehashes
+  const int64_t n = 100000;
+  for (int64_t k = 0; k < n; ++k) {
+    EXPECT_EQ(t.FindOrInsert(k * 7919 - 123, static_cast<uint64_t>(k)),
+              static_cast<uint32_t>(k));
+  }
+  ASSERT_EQ(t.num_groups(), static_cast<uint64_t>(n));
+  for (int64_t k = 0; k < n; ++k) {
+    const uint32_t slot = t.Find(k * 7919 - 123);
+    ASSERT_EQ(slot, static_cast<uint32_t>(k));
+    EXPECT_EQ(t.first_pos(slot), static_cast<uint64_t>(k));
+  }
+}
+
+TEST(AggTableTest, UpdateMatchesScalarFoldForEveryAggFn) {
+  Rng rng(5);
+  std::vector<int64_t> keys(5000);
+  std::vector<double> vals(5000);
+  for (auto& k : keys) k = rng.UniformRange(0, 49);
+  for (auto& v : vals) v = rng.NextDouble() * 100 - 50;
+
+  for (AggFn fn : kAllAggFns) {
+    AggTable t;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      t.Update(fn, keys[i], vals[i], i);
+    }
+    // Scalar reference fold, same init and order.
+    std::unordered_map<int64_t, std::pair<double, int64_t>> ref;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      double init = fn == AggFn::kMin ? 1e300
+                   : fn == AggFn::kMax ? -1e300
+                                       : 0.0;
+      auto [it, ins] = ref.emplace(keys[i], std::make_pair(init, int64_t{0}));
+      switch (fn) {
+        case AggFn::kSum:
+        case AggFn::kAvg: it->second.first += vals[i]; break;
+        case AggFn::kCount: it->second.first += 1.0; break;
+        case AggFn::kMin:
+          it->second.first = std::min(it->second.first, vals[i]);
+          break;
+        case AggFn::kMax:
+          it->second.first = std::max(it->second.first, vals[i]);
+          break;
+        case AggFn::kNone: break;
+      }
+      it->second.second += 1;
+    }
+    ASSERT_EQ(t.num_groups(), ref.size()) << AggFnName(fn);
+    for (uint32_t s = 0; s < t.num_groups(); ++s) {
+      const auto& expect = ref.at(t.key(s));
+      EXPECT_DOUBLE_EQ(t.agg_val(s), expect.first)
+          << AggFnName(fn) << " key " << t.key(s);
+      EXPECT_EQ(t.agg_count(s), expect.second) << AggFnName(fn);
+    }
+  }
+}
+
+// ---- ParallelGroupBy (function level) --------------------------------------
+
+// Scalar reference: the evaluator's sequential insert loop.
+void ReferenceGroupBy(const std::vector<int64_t>& keys,
+                      std::vector<int64_t>* gids,
+                      std::vector<int64_t>* uniq) {
+  std::unordered_map<int64_t, int64_t> map;
+  for (int64_t k : keys) {
+    auto [it, ins] = map.emplace(k, static_cast<int64_t>(map.size()));
+    if (ins) uniq->push_back(k);
+    gids->push_back(it->second);
+  }
+}
+
+class ParallelGroupByTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelGroupByTest, BitIdenticalToScalarAcrossMorselSizes) {
+  const int workers = GetParam();
+  MorselScheduler sched(workers);
+  Rng rng(13);
+  std::vector<int64_t> keys(30000);
+  for (auto& k : keys) k = rng.UniformRange(0, 999);
+
+  std::vector<int64_t> ref_gids, ref_keys;
+  ReferenceGroupBy(keys, &ref_gids, &ref_keys);
+
+  for (uint64_t rows : kMorselSizes) {
+    ParallelAggOptions o;
+    o.morsel_rows = rows;
+    o.scheduler = &sched;
+    std::vector<int64_t> gids, uniq;
+    std::vector<MorselMetrics> mm;
+    const size_t nm = ParallelGroupBy(keys.data(), keys.size(), o, &gids,
+                                      &uniq, &mm);
+    if (nm == 0) continue;  // one morsel: sequential path's job
+    EXPECT_EQ(gids, ref_gids) << "rows=" << rows << " workers=" << workers;
+    EXPECT_EQ(uniq, ref_keys) << "rows=" << rows << " workers=" << workers;
+    ASSERT_EQ(mm.size(), nm);
+    uint64_t in = 0;
+    for (const auto& ms : mm) in += ms.tuples_in;
+    EXPECT_EQ(in, keys.size());
+  }
+}
+
+TEST_P(ParallelGroupByTest, AllDistinctAndSingleGroupExtremes) {
+  const int workers = GetParam();
+  MorselScheduler sched(workers);
+  for (bool distinct : {true, false}) {
+    std::vector<int64_t> keys(20000);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = distinct ? static_cast<int64_t>(keys.size() - i) : 77;
+    }
+    std::vector<int64_t> ref_gids, ref_keys;
+    ReferenceGroupBy(keys, &ref_gids, &ref_keys);
+    ParallelAggOptions o;
+    o.morsel_rows = 512;
+    o.scheduler = &sched;
+    std::vector<int64_t> gids, uniq;
+    std::vector<MorselMetrics> mm;
+    ASSERT_GT(ParallelGroupBy(keys.data(), keys.size(), o, &gids, &uniq, &mm),
+              0u);
+    EXPECT_EQ(gids, ref_gids) << "distinct=" << distinct;
+    EXPECT_EQ(uniq, ref_keys) << "distinct=" << distinct;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ParallelGroupByTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+// ---- evaluator-level differential ------------------------------------------
+
+class ParallelAggEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(21);
+    const uint64_t n = 25000;
+    std::vector<int64_t> kv(n), fkv(n);
+    std::vector<double> vv(n);
+    for (auto& v : kv) v = rng.UniformRange(0, 499);
+    for (auto& v : fkv) v = rng.UniformRange(0, 799);
+    for (auto& v : vv) v = rng.NextDouble() * 10;
+    keys_ = Column::MakeInt64("keys", std::move(kv));
+    fk_ = Column::MakeInt64("fk", std::move(fkv));
+    vals_ = Column::MakeFloat64("vals", std::move(vv));
+    std::vector<int64_t> pkv(800);
+    for (size_t i = 0; i < pkv.size(); ++i) pkv[i] = static_cast<int64_t>(i);
+    pk_ = Column::MakeInt64("pk", std::move(pkv));
+  }
+
+  // select -> fetch keys -> groupby -> grouped agg over fetched values.
+  QueryPlan GroupAggPlan(AggFn fn, int64_t hi = 399) {
+    PlanBuilder b("groupagg");
+    int s = b.Select(keys_.get(), Predicate::RangeI64(0, hi));
+    int fk = b.FetchJoin(keys_.get(), s);
+    int g = b.GroupBy(fk);
+    int fv = b.FetchJoin(vals_.get(), s);
+    int a = b.AggGrouped(fn, g, fn == AggFn::kCount ? -1 : fv);
+    return b.Result(a);
+  }
+
+  // select -> fetch fk values -> hash-join probe against pk.
+  QueryPlan ProbePlan(int64_t hi = 599) {
+    PlanBuilder b("probe");
+    int s = b.Select(fk_.get(), Predicate::RangeI64(0, hi));
+    int f = b.FetchJoin(fk_.get(), s);
+    int j = b.Join(f, pk_.get());
+    return b.Result(j);
+  }
+
+  static EvalResult Run(const QueryPlan& plan, ExecOptions o) {
+    Evaluator eval(o);
+    EvalResult er;
+    EXPECT_TRUE(eval.Execute(plan, &er).ok());
+    return er;
+  }
+
+  // Runs `plan` through scalar interpreter, whole-column kernels, and the
+  // parallel tier at every (morsel size x worker count); all three must
+  // agree, and kGroups/kPairs intermediates must agree *bit-identically*
+  // (vector equality, not just semantic DiffIntermediates).
+  void ExpectParallelMatches(const QueryPlan& plan) {
+    ExecOptions scalar;
+    scalar.use_kernels = false;
+    EvalResult ref = Run(plan, scalar);
+    EvalResult base = Run(plan, ExecOptions{});
+    ASSERT_EQ(DiffIntermediates(ref.result, base.result), "");
+
+    for (uint64_t rows : kMorselSizes) {
+      for (int workers : {1, 2, 4, 8}) {
+        ExecOptions o;
+        o.use_morsels = true;
+        o.morsel_rows = rows;
+        o.morsel_workers = workers;
+        o.use_parallel_agg = true;
+        EvalResult got = Run(plan, o);
+        EXPECT_EQ(DiffIntermediates(base.result, got.result), "")
+            << "rows=" << rows << " workers=" << workers;
+        ASSERT_EQ(base.intermediates.size(), got.intermediates.size());
+        for (const auto& [id, inter] : base.intermediates) {
+          const Intermediate& other = got.intermediates.at(id);
+          if (inter.kind == Intermediate::Kind::kGroups) {
+            EXPECT_EQ(inter.group_ids, other.group_ids)
+                << "node " << id << " rows=" << rows << " workers=" << workers;
+            EXPECT_EQ(inter.group_keys.i64, other.group_keys.i64)
+                << "node " << id;
+          } else if (inter.kind == Intermediate::Kind::kPairs) {
+            EXPECT_EQ(inter.rowids, other.rowids) << "node " << id;
+            EXPECT_EQ(inter.rrowids, other.rrowids) << "node " << id;
+          } else {
+            EXPECT_EQ(DiffIntermediates(inter, other), "") << "node " << id;
+          }
+        }
+      }
+    }
+  }
+
+  ColumnPtr keys_, fk_, vals_, pk_;
+};
+
+TEST_F(ParallelAggEvalTest, GroupByAndGroupedAggAllFns) {
+  for (AggFn fn : kAllAggFns) {
+    SCOPED_TRACE(AggFnName(fn));
+    ExpectParallelMatches(GroupAggPlan(fn));
+  }
+}
+
+TEST_F(ParallelAggEvalTest, LeafGroupByOverBaseColumn) {
+  PlanBuilder b("leafgroup");
+  int g = b.GroupByLeaf(keys_.get());
+  ExpectParallelMatches(b.Result(g));
+}
+
+TEST_F(ParallelAggEvalTest, EmptyTable) {
+  auto empty = Column::MakeInt64("e", {});
+  PlanBuilder b("empty");
+  int g = b.GroupByLeaf(empty.get());
+  ExpectParallelMatches(b.Result(g));
+}
+
+TEST_F(ParallelAggEvalTest, SingleGroupAndAllDistinct) {
+  auto ones = Column::MakeInt64("ones", std::vector<int64_t>(20000, 1));
+  std::vector<int64_t> dv(20000);
+  for (size_t i = 0; i < dv.size(); ++i) {
+    dv[i] = static_cast<int64_t>(dv.size() - i);
+  }
+  auto dist = Column::MakeInt64("dist", std::move(dv));
+  for (const Column* col : {ones.get(), dist.get()}) {
+    PlanBuilder b("extreme");
+    int g = b.GroupByLeaf(col);
+    int a = b.AggGrouped(AggFn::kCount, g);
+    ExpectParallelMatches(b.Result(a));
+  }
+}
+
+TEST_F(ParallelAggEvalTest, JoinProbeMatchesAcrossMorselSizes) {
+  ExpectParallelMatches(ProbePlan());
+}
+
+TEST_F(ParallelAggEvalTest, LeafJoinProbe) {
+  PlanBuilder b("leafjoin");
+  int j = b.JoinLeaf(fk_.get(), pk_.get());
+  ExpectParallelMatches(b.Result(j));
+}
+
+TEST_F(ParallelAggEvalTest, RowIdInputJoinProbe) {
+  // Join over a row-id candidate list (outer column bound on the node):
+  // probes gather outer.i64()[row] per candidate.
+  PlanBuilder b("rowidjoin");
+  int s = b.Select(fk_.get(), Predicate::RangeI64(0, 599));
+  int j = b.Join(s, pk_.get());
+  QueryPlan plan = b.Result(j);
+  plan.node(j).column = fk_.get();
+  ASSERT_TRUE(plan.Validate().ok());
+  ExpectParallelMatches(plan);
+}
+
+TEST_F(ParallelAggEvalTest, SlicedProbeClipsIdenticallyToSequential) {
+  // A sliced join clone (the exchange mutation's shape): out-of-slice outer
+  // rows are skipped; morsel fragments must reproduce the clipped pair list.
+  PlanBuilder b("sliced");
+  int s = b.Select(fk_.get(), Predicate::RangeI64(0, 799));
+  int f = b.FetchJoin(fk_.get(), s);
+  int j = b.Join(f, pk_.get());
+  QueryPlan plan = b.Result(j);
+  plan.node(j).has_slice = true;
+  plan.node(j).slice = RowRange{3000, 17000};
+  ASSERT_TRUE(plan.Validate().ok());
+  ExpectParallelMatches(plan);
+}
+
+TEST_F(ParallelAggEvalTest, PerMorselCountsSumToOperatorTotals) {
+  ExecOptions o;
+  o.use_morsels = true;
+  o.morsel_rows = 1024;
+  o.morsel_workers = 4;
+  Evaluator eval(o);
+  EvalResult er;
+  ASSERT_TRUE(eval.Execute(GroupAggPlan(AggFn::kSum, /*hi=*/499), &er).ok());
+  EvalResult jr;
+  ASSERT_TRUE(eval.Execute(ProbePlan(), &jr).ok());
+
+  bool saw_groupby = false, saw_join = false;
+  auto check = [&](const EvalResult& r) {
+    for (const auto& m : r.metrics) {
+      if (m.morsels.empty()) continue;
+      if (m.kind == OpKind::kGroupBy) saw_groupby = true;
+      if (m.kind == OpKind::kJoin) saw_join = true;
+      uint64_t in = 0, out = 0;
+      for (const auto& ms : m.morsels) {
+        in += ms.tuples_in;
+        out += ms.tuples_out;
+      }
+      EXPECT_EQ(in, m.tuples_in) << OpKindName(m.kind);
+      EXPECT_EQ(out, m.tuples_out) << OpKindName(m.kind);
+    }
+  };
+  check(er);
+  check(jr);
+  // 25000-row inputs at 1024-row morsels must have split the group-by and
+  // the probe — unless APQ_FORCE_MORSELS raised the morsel size past them.
+  if (eval.EffectiveMorselRows() < 20000) {
+    EXPECT_TRUE(saw_groupby);
+    EXPECT_TRUE(saw_join);
+  }
+}
+
+TEST_F(ParallelAggEvalTest, DisablingParallelAggKeepsOperatorsWholeColumn) {
+  ExecOptions o;
+  o.use_morsels = true;
+  o.morsel_rows = 1024;
+  o.morsel_workers = 4;
+  o.use_parallel_agg = false;
+  Evaluator eval(o);
+  // The env override forces the tier back on (that is its job in CI); the
+  // gating assertion below is only meaningful without it.
+  if (eval.ParallelAggEnabled()) GTEST_SKIP() << "APQ_FORCE_MORSELS is set";
+  EvalResult base = Run(GroupAggPlan(AggFn::kSum), ExecOptions{});
+  EvalResult er;
+  ASSERT_TRUE(eval.Execute(GroupAggPlan(AggFn::kSum), &er).ok());
+  EXPECT_EQ(DiffIntermediates(base.result, er.result), "");
+  for (const auto& m : er.metrics) {
+    if (m.kind == OpKind::kGroupBy || m.kind == OpKind::kJoin ||
+        m.kind == OpKind::kAggregate) {
+      EXPECT_TRUE(m.morsels.empty()) << OpKindName(m.kind);
+    }
+  }
+}
+
+TEST_F(ParallelAggEvalTest, DeterministicAcrossRepeatedRuns) {
+  ExecOptions o;
+  o.use_morsels = true;
+  o.morsel_rows = 512;
+  o.morsel_workers = 4;
+  Evaluator eval(o);
+  QueryPlan plan = GroupAggPlan(AggFn::kAvg);
+  EvalResult first;
+  ASSERT_TRUE(eval.Execute(plan, &first).ok());
+  for (int rep = 0; rep < 5; ++rep) {
+    EvalResult again;
+    ASSERT_TRUE(eval.Execute(plan, &again).ok());
+    // Bit-exact repeatability (not just tolerance): the merge folds partials
+    // in morsel order, independent of stealing.
+    ASSERT_EQ(first.result.agg_vals.size(), again.result.agg_vals.size());
+    for (size_t g = 0; g < first.result.agg_vals.size(); ++g) {
+      EXPECT_EQ(first.result.agg_vals[g], again.result.agg_vals[g]) << rep;
+    }
+    EXPECT_EQ(first.result.agg_counts, again.result.agg_counts) << rep;
+    EXPECT_EQ(first.result.group_keys.i64, again.result.group_keys.i64) << rep;
+  }
+}
+
+// ---- wall-clock speedup (gated on real cores) ------------------------------
+
+TEST(ParallelAggSpeedupTest, ParallelGroupByBeatsSequentialOnMulticore) {
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "needs >= 4 hardware threads; correctness/determinism "
+                    "suites gate on this machine";
+  }
+  Rng rng(3);
+  std::vector<int64_t> kv(1 << 23);  // 8M rows
+  for (auto& v : kv) v = rng.UniformRange(0, 9999);
+  auto col = Column::MakeInt64("big", std::move(kv));
+  PlanBuilder b("group");
+  int g = b.GroupByLeaf(col.get());
+  QueryPlan plan = b.Result(g);
+
+  auto best_of = [&](Evaluator& eval) {
+    double best = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      EvalResult er;
+      EXPECT_TRUE(eval.Execute(plan, &er).ok());
+      best = std::min(best, er.wall_ns);
+    }
+    return best;
+  };
+  Evaluator whole;  // kernels, whole-column ingest
+  ExecOptions o;
+  o.use_morsels = true;
+  o.morsel_workers = 4;
+  Evaluator par(o);
+  EXPECT_LT(best_of(par), best_of(whole))
+      << "morsel-parallel group-by ingest should beat the sequential loop "
+         "on >= 4 cores";
+}
+
+}  // namespace
+}  // namespace apq

@@ -332,6 +332,77 @@ TEST_F(ParallelExecTest, ConcurrentFirstBuildsOfDifferentInnersDontSerialize) {
   EXPECT_EQ(warm_builds, 0u);
 }
 
+TEST_F(ParallelExecTest, ParallelAggProbeCoversTpchAcrossWorkerCounts) {
+  // The exec/agg tier on the full query suite: group-by ingest, grouped
+  // aggregation, and hash-join probe run morsel-parallel at every worker
+  // count, and every query's result must stay exact. Across the suite at a
+  // 256-row morsel size, at least one group-by and one join must actually
+  // have split (the whole point of the tier).
+  bool saw_groupby = false, saw_join = false;
+  for (const auto& name : Tpch::QueryNames()) {
+    auto plan = Tpch::Query(*cat_, name);
+    ASSERT_TRUE(plan.ok()) << name;
+    Evaluator whole;  // kernels, whole-column
+    EvalResult base;
+    ASSERT_TRUE(whole.Execute(plan.ValueOrDie(), &base).ok()) << name;
+    for (int workers : {1, 2, 4, 8}) {
+      ExecOptions o;
+      o.use_morsels = true;
+      o.morsel_rows = 256;
+      o.morsel_workers = workers;
+      o.use_parallel_agg = true;
+      Evaluator par(o);
+      EvalResult got;
+      ASSERT_TRUE(par.Execute(plan.ValueOrDie(), &got).ok())
+          << name << " workers=" << workers;
+      EXPECT_EQ(DiffIntermediates(base.result, got.result), "")
+          << name << " workers=" << workers;
+      ASSERT_EQ(base.metrics.size(), got.metrics.size());
+      for (size_t i = 0; i < base.metrics.size(); ++i) {
+        EXPECT_EQ(base.metrics[i].tuples_out, got.metrics[i].tuples_out)
+            << name << " workers=" << workers << " op " << i;
+        if (got.metrics[i].morsels.empty()) continue;
+        if (got.metrics[i].kind == OpKind::kGroupBy) saw_groupby = true;
+        if (got.metrics[i].kind == OpKind::kJoin) saw_join = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_groupby) << "no TPC-H group-by ingest ran morsel-parallel";
+  EXPECT_TRUE(saw_join) << "no TPC-H join probe ran morsel-parallel";
+}
+
+TEST_F(ParallelExecTest, ParallelAggComposesWithNodePoolExecution) {
+  // Exchange clones on the node pool while each clone's probe/ingest splits
+  // on the shared morsel scheduler — Q9 (join + group-by heavy) and Q14
+  // (join heavy) under both axes at once.
+  for (const char* name : {"Q9", "Q14"}) {
+    auto q = Tpch::Query(*cat_, name);
+    ASSERT_TRUE(q.ok()) << name;
+    HeuristicParallelizer hp(HeuristicConfig{.dop = 4});
+    auto plan = hp.Parallelize(q.ValueOrDie());
+    ASSERT_TRUE(plan.ok()) << name;
+
+    Evaluator serial(ExecOptions{true, 1});
+    EvalResult base;
+    ASSERT_TRUE(serial.Execute(plan.ValueOrDie(), &base).ok()) << name;
+
+    ExecOptions o;
+    o.num_threads = 4;
+    o.use_morsels = true;
+    o.morsel_rows = 256;
+    o.morsel_workers = 4;
+    o.use_parallel_agg = true;
+    Evaluator both(o);
+    for (int rep = 0; rep < 3; ++rep) {
+      EvalResult got;
+      ASSERT_TRUE(both.Execute(plan.ValueOrDie(), &got).ok())
+          << name << " rep " << rep;
+      EXPECT_EQ(DiffIntermediates(base.result, got.result), "")
+          << name << " rep " << rep;
+    }
+  }
+}
+
 TEST_F(ParallelExecTest, WallClockIsReported) {
   auto q6 = Tpch::Q6(*cat_);
   ASSERT_TRUE(q6.ok());
