@@ -38,6 +38,10 @@ struct EngineConfig {
   /// Morsel-parallel aggregation + hash-join probe (exec/agg/; see
   /// ExecOptions::use_parallel_agg). Only active when morsels are on.
   bool use_parallel_agg = true;
+  /// Morsel-parallel sort: per-morsel stable runs + merge-path loser-tree
+  /// merge (exec/sort/; see ExecOptions::use_parallel_sort). Only active
+  /// when morsels are on.
+  bool use_parallel_sort = true;
   /// Morsel scheduler to share with other engines/queries. When null and
   /// use_morsels is set, the engine creates its own; pass
   /// MorselScheduler::Shared() (or another engine's morsel_scheduler()) so
@@ -139,6 +143,7 @@ class Engine {
     o.morsel_rows = c.morsel_rows;
     o.morsel_workers = c.morsel_workers;
     o.use_parallel_agg = c.use_parallel_agg;
+    o.use_parallel_sort = c.use_parallel_sort;
     return o;
   }
 

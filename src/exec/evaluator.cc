@@ -8,6 +8,7 @@
 
 #include "exec/agg/parallel_agg.h"
 #include "exec/kernels.h"
+#include "exec/sort/merge.h"
 #include "util/hash_clock.h"
 
 namespace apq {
@@ -35,6 +36,22 @@ void GatherInto(const Column& col, oid row, ValueVec* vals) {
     vals->f64.push_back(col.f64()[row]);
   } else {
     vals->i64.push_back(col.i64()[row]);
+  }
+}
+
+// Applies a sort permutation to (values, head): the result holds values[p]
+// (and head[p], when head is non-null) for each p in perm, in perm order.
+void GatherPermuted(const ValueVec& values, const std::vector<oid>* head,
+                    const std::vector<uint64_t>& perm, Intermediate* result) {
+  result->kind = Intermediate::Kind::kValues;
+  result->values.type = values.type;
+  result->values.dict = values.dict;
+  result->values.Reserve(perm.size());
+  if (head != nullptr) result->head.reserve(perm.size());
+  for (uint64_t i : perm) {
+    if (values.is_f64()) result->values.f64.push_back(values.f64[i]);
+    else result->values.i64.push_back(values.i64[i]);
+    if (head != nullptr) result->head.push_back((*head)[i]);
   }
 }
 
@@ -79,6 +96,11 @@ bool Evaluator::MorselsEnabled() const {
 bool Evaluator::ParallelAggEnabled() const {
   return MorselsEnabled() &&
          (options_.use_parallel_agg || ForcedMorselRowsFromEnv() != 0);
+}
+
+bool Evaluator::ParallelSortEnabled() const {
+  return MorselsEnabled() &&
+         (options_.use_parallel_sort || ForcedMorselRowsFromEnv() != 0);
 }
 
 uint64_t Evaluator::EffectiveMorselRows() const {
@@ -272,6 +294,34 @@ size_t Evaluator::MorselGroupedAgg(const int64_t* gids, uint64_t n,
   return ParallelGroupedAgg(gids, n, vf, vi, fn, ngroups, o,
                             result->agg_vals.data(),
                             result->agg_counts.data());
+}
+
+size_t Evaluator::MorselSortPerm(const SortKeys& keys, uint64_t n,
+                                 bool descending, uint64_t limit,
+                                 std::vector<uint64_t>* perm, OpMetrics* m) {
+  ParallelSortOptions o;
+  o.morsel_rows = EffectiveMorselRows();
+  o.scheduler = EnsureMorselScheduler().get();
+  o.limit = limit;
+  std::vector<std::vector<uint64_t>> runs;
+  std::vector<MorselMetrics> mm;
+  const size_t nm = BuildSortRuns(keys, n, o, descending, &runs, &mm);
+  if (nm == 0) return 0;
+
+  std::vector<RunSpan> spans(runs.size());
+  uint64_t total = 0;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    spans[r] = RunSpan{runs[r].data(), runs[r].size()};
+    total += runs[r].size();
+  }
+  // Bounded top-N: the runs were clipped to their limit smallest, so the
+  // merge sees at most runs x limit candidates and emits only limit rows.
+  const uint64_t out_len = limit > 0 && limit < total ? limit : total;
+  perm->resize(out_len);
+  ParallelMergeRuns(spans, SortKeyLess{keys, descending}, o, out_len,
+                    perm->data(), &mm);
+  m->morsels = std::move(mm);
+  return nm;
 }
 
 size_t Evaluator::MorselJoinProbe(
@@ -1263,25 +1313,38 @@ Status Evaluator::ExecMap(const PlanNode& node, const ExecContext& ctx,
 
 Status Evaluator::ExecSort(const PlanNode& node, const ExecContext& ctx,
                            Intermediate* result, OpMetrics* m) {
-  const Intermediate* in;
-  APQ_INPUT_OF(ctx, node.inputs[0], &in);
-  if (in->kind != Intermediate::Kind::kValues &&
-      in->kind != Intermediate::Kind::kGroupedAgg) {
-    return Status::InvalidArgument("sort input must be values or grouped aggs");
+  const Intermediate* in = nullptr;
+  if (!node.inputs.empty()) {
+    APQ_INPUT_OF(ctx, node.inputs[0], &in);
   }
 
-  if (in->kind == Intermediate::Kind::kGroupedAgg) {
-    // Order grouped aggregates by aggregate value.
-    uint64_t n = in->agg_vals.size();
-    std::vector<uint64_t> perm(n);
-    std::iota(perm.begin(), perm.end(), 0);
-    std::stable_sort(perm.begin(), perm.end(), [&](uint64_t x, uint64_t y) {
-      return node.descending ? in->agg_vals[x] > in->agg_vals[y]
-                             : in->agg_vals[x] < in->agg_vals[y];
-    });
-    if (node.kind == OpKind::kTopN && node.limit > 0 && node.limit < n) {
-      perm.resize(node.limit);
+  // One permutation routine for every input shape: the parallel sort tier
+  // (exec/sort/) when morsels are on and the input splits, the sequential
+  // shared-comparator sort otherwise. Both emit the unique (value, position)
+  // order — std::stable_sort's permutation — so the gather loops below
+  // cannot observe which one ran.
+  auto sort_perm = [&](const SortKeys& keys, uint64_t n,
+                       std::vector<uint64_t>* perm) {
+    const uint64_t limit =
+        node.kind == OpKind::kTopN && node.limit > 0 && node.limit < n
+            ? node.limit
+            : 0;
+    size_t nm = 0;
+    if (ParallelSortEnabled()) {
+      nm = MorselSortPerm(keys, n, node.descending, limit, perm, m);
     }
+    if (nm == 0) SortPermSequential(keys, n, node.descending, limit, perm);
+  };
+  auto keys_of = [](const ValueVec& v) {
+    return v.is_f64() ? SortKeys{v.f64.data(), nullptr}
+                      : SortKeys{nullptr, v.i64.data()};
+  };
+
+  if (in != nullptr && in->kind == Intermediate::Kind::kGroupedAgg) {
+    // Order grouped aggregates by aggregate value.
+    const uint64_t n = in->agg_vals.size();
+    std::vector<uint64_t> perm;
+    sort_perm(SortKeys{in->agg_vals.data(), nullptr}, n, &perm);
     result->kind = Intermediate::Kind::kGroupedAgg;
     result->group_keys.type = in->group_keys.type;
     result->group_keys.dict = in->group_keys.dict;
@@ -1302,34 +1365,95 @@ Status Evaluator::ExecSort(const PlanNode& node, const ExecContext& ctx,
     return Status::OK();
   }
 
-  uint64_t n = in->values.size();
-  std::vector<uint64_t> perm(n);
-  std::iota(perm.begin(), perm.end(), 0);
-  std::stable_sort(perm.begin(), perm.end(), [&](uint64_t x, uint64_t y) {
-    double a = in->values.AsDouble(x), b = in->values.AsDouble(y);
-    return node.descending ? a > b : a < b;
-  });
-  if (node.kind == OpKind::kTopN && node.limit > 0 && node.limit < n) {
-    perm.resize(node.limit);
+  if (in != nullptr && in->kind == Intermediate::Kind::kValues) {
+    const uint64_t n = in->values.size();
+    std::vector<uint64_t> perm;
+    sort_perm(keys_of(in->values), n, &perm);
+    GatherPermuted(in->values, in->head.empty() ? nullptr : &in->head, perm,
+                   result);
+    result->origin = in->origin;
+    m->tuples_in = n;
+    m->tuples_out = perm.size();
+    m->sort_rows = n;
+    m->bytes_in = n * 8;
+    m->bytes_out = perm.size() * 8;
+    return Status::OK();
   }
-  result->kind = Intermediate::Kind::kValues;
-  result->values.type = in->values.type;
-  result->values.dict = in->values.dict;
-  result->origin = in->origin;
-  result->values.Reserve(perm.size());
-  bool has_head = !in->head.empty();
-  if (has_head) result->head.reserve(perm.size());
-  for (uint64_t i : perm) {
-    if (in->values.is_f64()) result->values.f64.push_back(in->values.f64[i]);
-    else result->values.i64.push_back(in->values.i64[i]);
-    if (has_head) result->head.push_back(in->head[i]);
+
+  if (in != nullptr && in->kind == Intermediate::Kind::kRowIds) {
+    // Order a candidate list by its values in `column`, clipping ids outside
+    // this clone's slice like the join probe does (sibling clones covering
+    // the neighbouring slices sort the rest).
+    if (node.column == nullptr) {
+      return Status::InvalidArgument("sort over rowids needs a bound column");
+    }
+    const Column& col = *node.column;
+    const RowRange range = node.has_slice ? node.slice : in->origin;
+    ValueVec vals = MakeVecLike(col);
+    std::vector<oid> head;
+    head.reserve(in->rowids.size());
+    vals.Reserve(in->rowids.size());
+    for (oid row : in->rowids) {
+      if (row >= col.size()) {
+        return Status::Misaligned("sort rowid " + std::to_string(row) +
+                                  " beyond column '" + col.name() + "' size " +
+                                  std::to_string(col.size()));
+      }
+      if (node.has_slice && !range.Contains(row)) continue;
+      head.push_back(row);
+      GatherInto(col, row, &vals);
+    }
+    const uint64_t n = vals.size();
+    std::vector<uint64_t> perm;
+    sort_perm(keys_of(vals), n, &perm);
+    GatherPermuted(vals, &head, perm, result);
+    result->origin = range;
+    m->tuples_in = in->rowids.size();
+    m->tuples_out = perm.size();
+    m->sort_rows = n;
+    m->random_accesses = n;
+    m->random_working_set = range.size() * DataTypeWidth(col.type());
+    m->bytes_in = in->rowids.size() * sizeof(oid);
+    m->bytes_out = perm.size() * 16;
+    return Status::OK();
   }
-  m->tuples_in = n;
-  m->tuples_out = perm.size();
-  m->sort_rows = n;
-  m->bytes_in = n * 8;
-  m->bytes_out = perm.size() * 8;
-  return Status::OK();
+
+  if (in == nullptr) {
+    // Leaf sort: order a base-column slice directly (ORDER BY without a
+    // preceding select). Keys point straight at the column storage; the
+    // permutation is slice-relative.
+    if (node.column == nullptr) {
+      return Status::InvalidArgument("leaf sort needs a bound column");
+    }
+    const Column& col = *node.column;
+    const RowRange range = node.EffectiveRange();
+    const uint64_t n = range.size();
+    const SortKeys keys =
+        col.type() == DataType::kFloat64
+            ? SortKeys{col.f64().data() + range.begin, nullptr}
+            : SortKeys{nullptr, col.i64().data() + range.begin};
+    std::vector<uint64_t> perm;
+    sort_perm(keys, n, &perm);
+    result->kind = Intermediate::Kind::kValues;
+    result->values = MakeVecLike(col);
+    result->origin = range;
+    result->values.Reserve(perm.size());
+    result->head.reserve(perm.size());
+    for (uint64_t i : perm) {
+      const oid row = range.begin + i;
+      GatherInto(col, row, &result->values);
+      result->head.push_back(row);
+    }
+    m->tuples_in = n;
+    m->tuples_out = perm.size();
+    m->sort_rows = n;
+    m->bytes_in = n * DataTypeWidth(col.type());
+    m->bytes_out = perm.size() * 16;
+    return Status::OK();
+  }
+
+  return Status::InvalidArgument(
+      "sort input must be values, rowids, or grouped aggs");
 }
 
 }  // namespace apq

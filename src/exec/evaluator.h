@@ -24,6 +24,7 @@
 #include "exec/hash_index.h"
 #include "exec/intermediate.h"
 #include "exec/morsel_source.h"
+#include "exec/sort/sort_runs.h"
 #include "plan/plan.h"
 #include "sched/morsel_scheduler.h"
 #include "sched/thread_pool.h"
@@ -93,6 +94,15 @@ struct ExecOptions {
   /// keep selects/gathers morselized while aggregation and probe stay
   /// whole-column.
   bool use_parallel_agg = true;
+  /// Morsel-parallel sort (exec/sort/): kSort/kTopN inputs are sorted into
+  /// morsel-local stable runs combined by a merge-path-partitioned
+  /// loser-tree k-way merge — every comparison keyed by (value, original
+  /// position), so the permutation is bit-identical to the scalar stable
+  /// sort at any morsel size, worker count, or steal order. Bounded top-N
+  /// keeps a limit-sized selection per run and merges only runs x limit
+  /// candidates. Only active when morsels are enabled (use_morsels /
+  /// APQ_FORCE_MORSELS, which forces this tier on too).
+  bool use_parallel_sort = true;
 };
 
 /// \brief Interprets plans operator-at-a-time (like MonetDB's MAL
@@ -159,6 +169,10 @@ class Evaluator {
   /// and use_parallel_agg (APQ_FORCE_MORSELS forces this tier on too, so a
   /// forced CI run exercises every morselized operator).
   bool ParallelAggEnabled() const;
+
+  /// True when the parallel sort tier applies: morsels enabled and
+  /// use_parallel_sort (APQ_FORCE_MORSELS forces this tier on too).
+  bool ParallelSortEnabled() const;
 
   /// Rows per morsel actually used: options().morsel_rows, unless
   /// APQ_FORCE_MORSELS carries an explicit row count (e.g. =4096).
@@ -233,6 +247,19 @@ class Evaluator {
   size_t MorselGroupedAgg(const int64_t* gids, uint64_t n,
                           const ValueVec* vals, AggFn fn, uint64_t ngroups,
                           Intermediate* result);
+
+  /// Morsel-parallel permutation sort (exec/sort/): fills `perm` with the
+  /// first min(limit, n) positions (limit = 0 sorts everything) of [0, n)
+  /// in (key value, position) order — bit-identical to the scalar stable
+  /// sort — and lands per-run / per-merge-chunk counts in `m->morsels`:
+  /// run tasks carry tuples_in (summing to n = the operator's sort_rows;
+  /// equal to its tuples_in except for slice-clipped rowid inputs, which
+  /// drop out-of-slice candidates before sorting) and merge chunks carry
+  /// tuples_out (summing to the operator's tuples_out). Returns the number
+  /// of runs; 0 = caller runs SortPermSequential (nothing written).
+  size_t MorselSortPerm(const SortKeys& keys, uint64_t n, bool descending,
+                        uint64_t limit, std::vector<uint64_t>* perm,
+                        OpMetrics* m);
 
   /// Morsel-parallel hash-join probe: `probe_span(begin, end, l, r)` probes
   /// input positions [begin, end) appending matches to the fragment vectors;

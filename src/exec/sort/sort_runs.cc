@@ -1,0 +1,65 @@
+#include "exec/sort/sort_runs.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/hash_clock.h"
+
+namespace apq {
+
+void SortPermSequential(const SortKeys& keys, uint64_t n, bool descending,
+                        uint64_t limit, std::vector<uint64_t>* perm) {
+  perm->resize(n);
+  std::iota(perm->begin(), perm->end(), uint64_t{0});
+  const SortKeyLess less{keys, descending};
+  if (limit > 0 && limit < n) {
+    // Heap-select the limit smallest under the total order: O(n log limit)
+    // instead of sorting all n rows. The position tie-break makes the result
+    // identical to a full stable sort's first `limit` rows even though
+    // partial_sort itself is unstable.
+    std::partial_sort(perm->begin(),
+                      perm->begin() + static_cast<int64_t>(limit), perm->end(),
+                      less);
+    perm->resize(limit);
+  } else {
+    // (value, position) is a total order, so an unstable sort over it equals
+    // std::stable_sort over values — without stable_sort's O(n) scratch.
+    std::sort(perm->begin(), perm->end(), less);
+  }
+}
+
+size_t BuildSortRuns(const SortKeys& keys, uint64_t n,
+                     const ParallelSortOptions& opts, bool descending,
+                     std::vector<std::vector<uint64_t>>* runs,
+                     std::vector<MorselMetrics>* morsels) {
+  MorselSource src(0, n, opts.morsel_rows);
+  const size_t nm = src.num_morsels();
+  if (nm < 2 || opts.scheduler == nullptr) return 0;
+
+  const size_t base = runs->size();
+  runs->resize(base + nm);
+  std::vector<MorselMetrics> mm(nm);
+  opts.scheduler->ParallelFor(nm, [&](size_t i, int worker) {
+    const Morsel ms = src.morsel(i);
+    const double t0 = NowNs();
+    std::vector<uint64_t>& run = (*runs)[base + i];
+    run.resize(ms.size());
+    std::iota(run.begin(), run.end(), ms.begin);
+    const SortKeyLess less{keys, descending};
+    if (opts.limit > 0 && opts.limit < run.size()) {
+      std::partial_sort(run.begin(),
+                        run.begin() + static_cast<int64_t>(opts.limit),
+                        run.end(), less);
+      run.resize(opts.limit);
+      run.shrink_to_fit();  // bounded top-N keeps runs x limit rows live
+    } else {
+      std::sort(run.begin(), run.end(), less);
+    }
+    mm[i] = MorselMetrics{ms.size(), 0, NowNs() - t0, worker};
+  });
+
+  morsels->insert(morsels->end(), mm.begin(), mm.end());
+  return nm;
+}
+
+}  // namespace apq

@@ -1,0 +1,108 @@
+// Morsel-local stable sorted runs: phase one of the parallel sort subsystem.
+//
+// Sort was the last heavy operator still running whole-column: one
+// std::stable_sort over the full input for both kSort and kTopN. This
+// subsystem splits the input into morsels on the work-stealing scheduler
+// (sched/morsel_scheduler.h): each morsel is sorted into a *run* of input
+// positions ordered by the total order (key value, original position), and
+// the runs are combined by the merge-path-partitioned loser-tree merge in
+// exec/sort/merge.h.
+//
+// Keying every comparison by (value, position) is what makes the pipeline
+// schedule-invariant: positions are globally unique, so the order is total,
+// ties between equal values always resolve to the earlier input position
+// (exactly std::stable_sort's guarantee), and the merged permutation is THE
+// unique sorted permutation — bit-identical to the scalar path at any morsel
+// size, worker count, or steal order.
+//
+// The bounded top-N path reuses the same machinery: each run keeps only its
+// `limit` smallest elements (a heap-based std::partial_sort), so the merge
+// sees at most runs x limit candidates instead of n rows. Any global
+// top-`limit` element is necessarily among its own morsel's top `limit`, so
+// the clipped merge is still exact.
+#ifndef APQ_EXEC_SORT_SORT_RUNS_H_
+#define APQ_EXEC_SORT_SORT_RUNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/morsel_source.h"
+#include "sched/morsel_scheduler.h"
+
+namespace apq {
+
+/// \brief Read-only view of the sort key column: float64 or int64 (whichever
+/// pointer is non-null). Keys compare as doubles — the scalar comparator's
+/// ValueVec::AsDouble semantics — so the parallel and scalar paths cannot
+/// diverge on integer inputs.
+struct SortKeys {
+  const double* f64 = nullptr;
+  const int64_t* i64 = nullptr;
+
+  double at(uint64_t pos) const {
+    return f64 != nullptr ? f64[pos] : static_cast<double>(i64[pos]);
+  }
+};
+
+/// \brief The sort subsystem's single comparator: a strict *total* order over
+/// (key value, input position). Shared by the scalar interpreter path and
+/// every parallel phase (run sort, split search, loser-tree merge), so the
+/// tie-break semantics cannot drift between them. Sorting positions with this
+/// comparator reproduces std::stable_sort over values bit-for-bit.
+struct SortKeyLess {
+  SortKeys keys;
+  bool descending = false;
+
+  bool value_less(double a, double b) const {
+    return descending ? a > b : a < b;
+  }
+  bool operator()(uint64_t x, uint64_t y) const {
+    const double a = keys.at(x), b = keys.at(y);
+    if (value_less(a, b)) return true;
+    if (value_less(b, a)) return false;
+    return x < y;  // equal keys: earlier input position first (stability)
+  }
+};
+
+/// \brief How the sort pipeline splits and schedules its input.
+struct ParallelSortOptions {
+  uint64_t morsel_rows = kDefaultMorselRows;
+  MorselScheduler* scheduler = nullptr;  ///< required; callers share fleets
+  /// Top-N bound: >0 keeps only the `limit` smallest (under the sort order)
+  /// elements of each run, and the merge emits only `limit` rows. 0 = full
+  /// sort. Callers pass 0 when limit >= n (the scalar path's degenerate
+  /// top-N, which sorts everything).
+  uint64_t limit = 0;
+  /// Output rows per parallel-merge chunk (0 = sized from the worker count;
+  /// see merge.h). Tests shrink this to exercise multi-chunk merges on small
+  /// inputs.
+  uint64_t merge_chunk_rows = 0;
+};
+
+/// \brief Sequential permutation sort — the scalar interpreter's path, built
+/// on the same shared comparator. Fills `perm` with positions [0, n) ordered
+/// by (value, position); `limit` in (0, n) switches to a heap-based
+/// std::partial_sort that emits only the first `limit` rows of the sorted
+/// order instead of fully sorting n rows.
+void SortPermSequential(const SortKeys& keys, uint64_t n, bool descending,
+                        uint64_t limit, std::vector<uint64_t>* perm);
+
+/// \brief Morsel-parallel run formation over positions [0, n).
+///
+/// Appends one sorted run per morsel to `runs` (run i = morsel i's positions
+/// in (value, position) order, clipped to `opts.limit` when bounded) and one
+/// MorselMetrics per run to `morsels` (tuples_in = morsel rows, so the run
+/// tasks sum to the n rows sorted; tuples_out = 0 — output rows are
+/// accounted by the merge chunks).
+///
+/// Returns the number of runs; 0 when the input fits in fewer than two
+/// morsels or no scheduler was given — the caller should then run
+/// SortPermSequential (nothing has been written).
+size_t BuildSortRuns(const SortKeys& keys, uint64_t n,
+                     const ParallelSortOptions& opts, bool descending,
+                     std::vector<std::vector<uint64_t>>* runs,
+                     std::vector<MorselMetrics>* morsels);
+
+}  // namespace apq
+
+#endif  // APQ_EXEC_SORT_SORT_RUNS_H_

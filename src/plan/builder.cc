@@ -157,6 +157,27 @@ int PlanBuilder::TopN(int input, uint64_t limit, bool descending,
   return plan_.AddNode(std::move(n));
 }
 
+int PlanBuilder::SortLeaf(const Column* column, bool descending,
+                          std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kSort;
+  n.descending = descending;
+  n.column = column;
+  n.label = label.empty() ? "sort(" + column->name() + ")" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
+int PlanBuilder::TopNLeaf(const Column* column, uint64_t limit,
+                          bool descending, std::string label) {
+  PlanNode n;
+  n.kind = OpKind::kTopN;
+  n.limit = limit;
+  n.descending = descending;
+  n.column = column;
+  n.label = label.empty() ? "topn(" + column->name() + ")" : std::move(label);
+  return plan_.AddNode(std::move(n));
+}
+
 QueryPlan PlanBuilder::Result(int input) {
   PlanNode n;
   n.kind = OpKind::kResult;

@@ -61,10 +61,18 @@ class PlanBuilder {
   /// 0/1 flag per row: lo <= value <= hi.
   int RangeFlag(int input, int64_t lo, int64_t hi, std::string label = "");
 
-  /// Sort values or grouped aggregates.
+  /// Sort values, row-id candidates (bind the value column on the node), or
+  /// grouped aggregates.
   int Sort(int input, bool descending = false, std::string label = "");
   int TopN(int input, uint64_t n, bool descending = false,
            std::string label = "");
+
+  /// Leaf sort: order a base column's slice directly (ORDER BY on a base
+  /// table), producing values plus their row ids.
+  int SortLeaf(const Column* column, bool descending = false,
+               std::string label = "");
+  int TopNLeaf(const Column* column, uint64_t n, bool descending = false,
+               std::string label = "");
 
   /// Marks `input` as the query result and returns the finished plan.
   QueryPlan Result(int input);

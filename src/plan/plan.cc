@@ -162,8 +162,11 @@ Status QueryPlan::Validate() const {
         break;
       case OpKind::kSort:
       case OpKind::kTopN:
-        if (n.inputs.size() != 1) {
-          return Status::InvalidArgument("sort/topn take exactly one input");
+        if (n.inputs.size() > 1) {
+          return Status::InvalidArgument("sort/topn take at most one input");
+        }
+        if (n.inputs.empty() && !n.column) {
+          return Status::InvalidArgument("leaf sort/topn needs a column");
         }
         break;
       case OpKind::kResult:

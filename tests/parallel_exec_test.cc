@@ -403,6 +403,53 @@ TEST_F(ParallelExecTest, ParallelAggComposesWithNodePoolExecution) {
   }
 }
 
+TEST_F(ParallelExecTest, ParallelSortCoversOrderedTpchQueries) {
+  // The exec/sort tier on the ordered queries (Q4 count-ordered, Q6/Q9/Q22
+  // revenue-per-nation ordered). Their sorts order small grouped-aggregate
+  // vectors (priorities, nations), so a tiny morsel size is what makes them
+  // split; every query's result must stay exact at every worker count, and
+  // at least one sort must actually have morselized.
+  bool saw_sort = false;
+  for (const char* name : {"Q4", "Q6", "Q9", "Q22"}) {
+    auto plan = Tpch::Query(*cat_, name);
+    ASSERT_TRUE(plan.ok()) << name;
+    Evaluator whole;  // kernels, whole-column
+    EvalResult base;
+    ASSERT_TRUE(whole.Execute(plan.ValueOrDie(), &base).ok()) << name;
+    for (int workers : {1, 2, 4, 8}) {
+      ExecOptions o;
+      o.use_morsels = true;
+      o.morsel_rows = 4;  // splits even the 5-priority / 25-nation sorts
+      o.morsel_workers = workers;
+      o.use_parallel_sort = true;
+      Evaluator par(o);
+      EvalResult got;
+      ASSERT_TRUE(par.Execute(plan.ValueOrDie(), &got).ok())
+          << name << " workers=" << workers;
+      EXPECT_EQ(DiffIntermediates(base.result, got.result), "")
+          << name << " workers=" << workers;
+      ASSERT_EQ(base.metrics.size(), got.metrics.size());
+      for (size_t i = 0; i < base.metrics.size(); ++i) {
+        EXPECT_EQ(base.metrics[i].tuples_out, got.metrics[i].tuples_out)
+            << name << " workers=" << workers << " op " << i;
+        if ((got.metrics[i].kind == OpKind::kSort ||
+             got.metrics[i].kind == OpKind::kTopN) &&
+            !got.metrics[i].morsels.empty()) {
+          saw_sort = true;
+        }
+      }
+    }
+  }
+  // APQ_FORCE_MORSELS overrides the 4-row morsel size; the tiny grouped
+  // sorts only split when the override is absent (or just as small).
+  ExecOptions probe_o;
+  probe_o.use_morsels = true;
+  probe_o.morsel_rows = 4;
+  if (Evaluator(probe_o).EffectiveMorselRows() <= 8) {
+    EXPECT_TRUE(saw_sort) << "no TPC-H sort ran morsel-parallel";
+  }
+}
+
 TEST_F(ParallelExecTest, WallClockIsReported) {
   auto q6 = Tpch::Q6(*cat_);
   ASSERT_TRUE(q6.ok());

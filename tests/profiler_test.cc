@@ -143,6 +143,36 @@ TEST_F(ProfilerTest, OpReportSurfacesMorselSkewForMorselizedRuns) {
   EXPECT_EQ(report.find("max morsel skew 0.00"), std::string::npos);
 }
 
+TEST_F(ProfilerTest, OpReportCoversMorselizedSorts) {
+  // The sort tier's run/merge tasks must surface exactly like scan/agg
+  // morsels: a morsel count and a skew >= 1 on the sort row of the report.
+  PlanBuilder b("sorted");
+  int srt = b.SortLeaf(fcol_.get());
+  QueryPlan plan = b.Result(srt);
+  ExecOptions o;
+  o.use_morsels = true;
+  o.morsel_rows = 512;
+  o.morsel_workers = 2;
+  Evaluator eval(o);
+  EvalResult er;
+  APQ_CHECK_OK(eval.Execute(plan, &er));
+  auto tasks = BuildSimTasks(plan, er.metrics, cm_);
+  Simulator sim(SimConfig::Cores(4, 4));
+  auto outcome = sim.Run(tasks);
+  RunProfile rp = MakeRunProfile(plan, er.metrics, cm_, outcome.timings,
+                                 outcome.makespan_ns, outcome.utilization);
+  bool saw_sort = false;
+  for (const auto& op : rp.ops) {
+    if (op.kind != OpKind::kSort) continue;
+    saw_sort = true;
+    EXPECT_GT(op.num_morsels, 0u);  // 10'000 rows / 512 per morsel: split
+    EXPECT_GE(op.morsel_skew, 1.0);
+  }
+  EXPECT_TRUE(saw_sort);
+  std::string report = RenderOpReport(rp);
+  EXPECT_NE(report.find("sort"), std::string::npos);
+}
+
 TEST_F(ProfilerTest, CostModelMonotoneInWork) {
   // More tuples -> more work, for each operator kind we use.
   OpMetrics small, big;
