@@ -1,12 +1,33 @@
 #include "adaptive/executor.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 namespace apq {
+
+namespace {
+
+/// Floor for the runtime skew response: morsels this small are pure
+/// scheduling overhead even on the scaled-down datasets.
+constexpr uint64_t kMinAdaptiveMorselRows = 256;
+
+}  // namespace
 
 StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
     const QueryPlan& serial_plan, const std::vector<SimTask>& background) {
   AdaptiveOutcome out;
   ConvergenceController conv(params_.convergence);
   Mutator mutator(params_.mutator);
+
+  // Morsel-size hints are per-plan (node ids): start every adaptive process
+  // clean, and clear them again on EVERY exit path (including error
+  // returns) — a leaked hint map would silently shrink the morsels of any
+  // later query whose node ids collide, which is all of them.
+  evaluator_->SetAdaptiveMorselRows({});
+  struct HintGuard {
+    Evaluator* evaluator;
+    ~HintGuard() { evaluator->SetAdaptiveMorselRows({}); }
+  } hint_guard{evaluator_};
 
   QueryPlan plan = serial_plan.Clone();
   Intermediate serial_result;
@@ -58,7 +79,23 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
     }
 
     plan_history.push_back(plan.Clone());
-    profile_history.push_back(profile);
+    // History keeps the scalar per-op skew fields but not the raw morsel
+    // histograms: only the CURRENT run's histogram feeds the mutator, and
+    // retaining (or even transiently copying) every run's would cost
+    // O(ops x morsels) per run. Swap each histogram out around the copy.
+    profile_history.emplace_back();
+    {
+      RunProfile& hist = profile_history.back();
+      hist.makespan_ns = profile.makespan_ns;
+      hist.utilization = profile.utilization;
+      hist.ops.reserve(profile.ops.size());
+      for (auto& op : profile.ops) {
+        std::vector<MorselMetrics> saved;
+        saved.swap(op.morsels);
+        hist.ops.push_back(op);
+        op.morsels = std::move(saved);
+      }
+    }
 
     bool cont = conv.Observe(time);
 
@@ -69,7 +106,30 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
     rec.utilization = profile.utilization;
     rec.plan_stats = plan.Stats();
     rec.max_morsel_skew = profile.MaxMorselSkew();
+    rec.max_morsel_tuple_skew = profile.MaxMorselTupleSkew();
     out.runs.push_back(rec);
+
+    // Runtime skew response: operators that ran imbalanced this run get a
+    // shrunken morsel size next run, so the work-stealing scheduler
+    // rebalances within the operator while the mutator works on the plan.
+    // Mutated clones have fresh node ids, so hints never outlive the nodes
+    // they profiled.
+    if (evaluator_->options().adaptive_morsel_rows) {
+      std::unordered_map<int, uint64_t> hints;
+      const uint64_t base = evaluator_->EffectiveMorselRows();
+      const uint64_t shrunk = std::max(base / 4, kMinAdaptiveMorselRows);
+      if (shrunk < base) {
+        for (const auto& op : profile.ops) {
+          if (op.num_morsels < 2) continue;
+          if (std::max(op.morsel_skew, op.morsel_tuple_skew) >=
+              params_.mutator.skew_threshold) {
+            hints[op.node_id] = shrunk;
+          }
+        }
+      }
+      out.runs.back().skew_hint_ops = static_cast<int>(hints.size());
+      evaluator_->SetAdaptiveMorselRows(std::move(hints));
+    }
 
     if (!cont) break;
 
@@ -79,6 +139,7 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
     if (!mutated.ok()) return mutated.status();
     out.runs.back().mutated_node = report.target_node;
     out.runs.back().mutation = report.mutated ? report.action : "none";
+    if (report.mutated && report.skew_aware) ++out.skew_mutations;
     if (!report.mutated) {
       // No operator can be parallelized further; natural convergence.
       break;

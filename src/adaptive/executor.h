@@ -31,6 +31,14 @@ struct AdaptiveRun {
   /// this run; 0 when the run executed whole-column. Intra-operator feedback
   /// the convergence loop sees alongside the operator times.
   double max_morsel_skew = 0;
+  /// Worst deterministic per-operator tuple-weight skew
+  /// (OpProfile::morsel_tuple_skew) observed in this run; 0 when no
+  /// morselized operator carried domain information.
+  double max_morsel_tuple_skew = 0;
+  /// Operators whose skew in THIS run crossed the mutator's skew threshold
+  /// and therefore got a shrunken morsel size for the NEXT run (the runtime
+  /// skew response; 0 when ExecOptions::adaptive_morsel_rows is off).
+  int skew_hint_ops = 0;
 };
 
 /// \brief Outcome of a full adaptive-parallelization instance.
@@ -46,8 +54,15 @@ struct AdaptiveOutcome {
   double best_time_ns = 0;
   int best_run = -1;
   int total_runs = 0;
+  /// Mutations that used skew-aware value-balanced re-partitioning
+  /// ("basic-skew") across the whole adaptive process.
+  int skew_mutations = 0;
   QueryPlan gme_plan;              // the plan the process converged on
-  RunProfile gme_profile;          // profile of the GME run
+  /// Profile of the GME run. Historical profiles keep every scalar field
+  /// (including the per-op skew signals) but NOT the raw OpProfile::morsels
+  /// histograms — those are stripped per run to bound memory, so here
+  /// num_morsels > 0 with an empty morsels vector is expected.
+  RunProfile gme_profile;
   Intermediate result;             // query result (identical across runs)
 
   double Speedup() const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/table_printer.h"
+
 namespace apq {
 
 namespace {
@@ -118,9 +120,123 @@ void Mutator::RewireConsumers(QueryPlan* plan, int old_id, int new_id) {
   }
 }
 
-Status Mutator::SplitNode(QueryPlan* plan, int node_id, int ways) {
-  if (ways < 2) return Status::InvalidArgument("split needs ways >= 2");
-  const PlanNode node = plan->node(node_id);  // copy: plan will be mutated
+std::vector<uint64_t> Mutator::SkewSplitPoints(
+    RowRange range, const std::vector<MorselMetrics>& hist,
+    uint64_t min_partition_rows, int max_pieces, int fallback_ways) {
+  if (hist.size() < 2 || max_pieces < 2) return {};
+  // The histogram is only usable when every morsel carries a valid base-row
+  // domain inside this partition, in ascending non-overlapping order (dense
+  // scans and select-fed candidate lists qualify; group-by ingest, sort runs
+  // and probe-position morsels do not).
+  for (size_t i = 0; i < hist.size(); ++i) {
+    const MorselMetrics& h = hist[i];
+    if (h.domain_end <= h.domain_begin) return {};
+    if (h.domain_begin < range.begin || h.domain_end > range.end) return {};
+    if (i > 0 && h.domain_begin < hist[i - 1].domain_end) return {};
+  }
+  // Per-row cost proxy: one unit to scan a covered row, two to materialize a
+  // produced tuple (write + downstream read) — deterministic, unlike morsel
+  // wall times.
+  auto weight = [](const MorselMetrics& h) {
+    return static_cast<double>(h.tuples_in) +
+           2.0 * static_cast<double>(h.tuples_out);
+  };
+  auto density = [&weight](const MorselMetrics& h) {
+    return weight(h) / static_cast<double>(h.domain_end - h.domain_begin);
+  };
+
+  // Prefer split points on sharp density edges: a boundary between two
+  // morsels whose per-row weight differs by >= 2x marks the start or end of
+  // a value cluster (the paper's Fig 13 layout), and cutting exactly there
+  // makes each piece internally homogeneous — the mutation that actually
+  // removes intra-operator skew instead of halving it.
+  constexpr double kEdgeRatio = 2.0;
+  struct Edge {
+    uint64_t row;
+    double strength;
+  };
+  auto ratio_of = [&density](const MorselMetrics& x, const MorselMetrics& y) {
+    double a = std::max(density(x), 1e-12);
+    double b = std::max(density(y), 1e-12);
+    return a > b ? a / b : b / a;
+  };
+  std::vector<Edge> edges;
+  for (size_t i = 0; i + 1 < hist.size(); ++i) {
+    double ratio = ratio_of(hist[i], hist[i + 1]);
+    if (ratio >= kEdgeRatio) edges.push_back({hist[i + 1].domain_begin, ratio});
+  }
+  // A value boundary that falls inside a morsel dilutes both adjacent steps
+  // below the edge ratio (cold | mixed | hot reads as two ~1.8x steps for a
+  // 2x cluster). Detect the two-step pattern and quarantine the straddling
+  // morsel into its own piece: its neighbours become homogeneous, and the
+  // single-morsel piece itself runs whole-column (no morsel skew at all).
+  for (size_t i = 0; i + 2 < hist.size(); ++i) {
+    double span = ratio_of(hist[i], hist[i + 2]);
+    if (span < kEdgeRatio) continue;
+    if (ratio_of(hist[i], hist[i + 1]) >= kEdgeRatio) continue;
+    if (ratio_of(hist[i + 1], hist[i + 2]) >= kEdgeRatio) continue;
+    edges.push_back({hist[i + 1].domain_begin, span});
+    edges.push_back({hist[i + 2].domain_begin, span});
+  }
+
+  std::vector<uint64_t> points;
+  if (!edges.empty()) {
+    std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+      if (x.strength != y.strength) return x.strength > y.strength;
+      return x.row < y.row;
+    });
+    if (static_cast<int>(edges.size()) > max_pieces - 1) {
+      edges.resize(static_cast<size_t>(max_pieces - 1));
+    }
+    for (const Edge& e : edges) points.push_back(e.row);
+  } else {
+    // No sharp boundary. Only fall back to equal-cumulative-weight quantiles
+    // when the histogram itself proves a real density spread (a smooth
+    // gradient); a flat histogram means the trigger came from wall-clock
+    // noise and uniform halving is the honest split.
+    double dmin = density(hist[0]), dmax = dmin;
+    for (const MorselMetrics& h : hist) {
+      double d = density(h);
+      dmin = std::min(dmin, d);
+      dmax = std::max(dmax, d);
+    }
+    if (dmin <= 0 || dmax / dmin < kEdgeRatio) return {};
+    double total = 0;
+    for (const MorselMetrics& h : hist) total += weight(h);
+    if (total <= 0) return {};
+    int ways = std::min(std::max(fallback_ways, 2), max_pieces);
+    double cum = 0;
+    size_t i = 0;
+    for (int k = 1; k < ways; ++k) {
+      double target = total * k / ways;
+      while (i < hist.size() && cum < target) {
+        cum += weight(hist[i]);
+        ++i;
+      }
+      if (i >= hist.size()) break;
+      points.push_back(hist[i].domain_begin);
+    }
+  }
+
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  // Enforce the minimum partition granularity (points are ascending, so a
+  // point too close to range.end rules out every later point too).
+  std::vector<uint64_t> kept;
+  uint64_t prev = range.begin;
+  for (uint64_t p : points) {
+    if (p <= prev || p >= range.end) continue;
+    if (p - prev < min_partition_rows) continue;
+    if (range.end - p < min_partition_rows) break;
+    kept.push_back(p);
+    prev = p;
+  }
+  return kept;
+}
+
+Status Mutator::CheckBasicSplittable(const QueryPlan& plan, int node_id) {
+  const PlanNode& node = plan.node(node_id);
   if (!IsBasicParallelizable(node.kind)) {
     return Status::Unsupported(std::string("cannot basic-split a ") +
                                OpKindName(node.kind));
@@ -134,34 +250,103 @@ Status Mutator::SplitNode(QueryPlan* plan, int node_id, int ways) {
   // parallelized exclusively by propagating the join's partitioning through
   // them (medium mutation).
   if (node.kind == OpKind::kFetchJoin && !node.inputs.empty() &&
-      ProducesPairs(*plan, node.inputs[0])) {
+      ProducesPairs(plan, node.inputs[0])) {
     return Status::Unsupported(
         "fetchjoin over join pairs cannot be range-split; parallelize the "
         "join and propagate instead");
   }
-  RowRange range = node.has_slice ? node.slice : StaticOrigin(*plan, node_id);
+  return Status::OK();
+}
+
+StatusOr<std::vector<RowRange>> Mutator::PlanPieces(const QueryPlan& plan,
+                                                    int node_id, int ways,
+                                                    const OpProfile* prof,
+                                                    bool* skewed) const {
+  if (skewed != nullptr) *skewed = false;
+  if (ways < 2) return Status::InvalidArgument("split needs ways >= 2");
+  APQ_RETURN_NOT_OK(CheckBasicSplittable(plan, node_id));
+  const PlanNode& node = plan.node(node_id);
+  RowRange range = node.has_slice ? node.slice : StaticOrigin(plan, node_id);
   if (range.size() < static_cast<uint64_t>(ways)) {
     return Status::Unsupported("partition too small to split: " +
                                range.ToString());
   }
-  if (range.size() / ways < config_.min_partition_rows &&
-      range.size() / ways < range.size()) {
-    // Allow the split only when pieces stay above the minimum granularity.
-    if (range.size() / ways < config_.min_partition_rows) {
-      return Status::Unsupported("split below min partition rows");
+  if (range.size() / ways < config_.min_partition_rows) {
+    return Status::Unsupported("split below min partition rows");
+  }
+
+  // Skew feedback (paper Fig 12): when the profiled run shows intra-operator
+  // skew, re-partition on value-balanced split points from the per-morsel
+  // tuple histogram instead of uniform chunks. Splits only ever move the
+  // boundaries of consecutive subranges, so results stay bit-identical.
+  if (prof != nullptr &&
+      std::max(prof->morsel_skew, prof->morsel_tuple_skew) >=
+          config_.skew_threshold) {
+    std::vector<uint64_t> points =
+        SkewSplitPoints(range, prof->morsels, config_.min_partition_rows,
+                        config_.skew_max_ways, ways);
+    if (!points.empty()) {
+      std::vector<RowRange> pieces;
+      pieces.reserve(points.size() + 1);
+      uint64_t prev = range.begin;
+      for (uint64_t p : points) {
+        pieces.push_back(RowRange{prev, p});
+        prev = p;
+      }
+      pieces.push_back(RowRange{prev, range.end});
+      if (skewed != nullptr) *skewed = true;
+      return pieces;
+    }
+  }
+
+  std::vector<RowRange> pieces;
+  pieces.reserve(static_cast<size_t>(ways));
+  uint64_t chunk = range.size() / ways;
+  for (int w = 0; w < ways; ++w) {
+    RowRange piece;
+    piece.begin = range.begin + chunk * w;
+    piece.end = (w == ways - 1) ? range.end : range.begin + chunk * (w + 1);
+    pieces.push_back(piece);
+  }
+  return pieces;
+}
+
+Status Mutator::SplitNode(QueryPlan* plan, int node_id, int ways) {
+  auto pieces = PlanPieces(*plan, node_id, ways, nullptr, nullptr);
+  if (!pieces.ok()) return pieces.status();
+  return SplitNodeAt(plan, node_id, pieces.ValueOrDie());
+}
+
+Status Mutator::SplitNodeAt(QueryPlan* plan, int node_id,
+                            const std::vector<RowRange>& pieces) {
+  if (pieces.size() < 2) {
+    return Status::InvalidArgument("split needs at least 2 pieces");
+  }
+  // Re-checked (not only in PlanPieces) because the alignment-partner path
+  // applies one pieces decision to other nodes.
+  APQ_RETURN_NOT_OK(CheckBasicSplittable(*plan, node_id));
+  const PlanNode node = plan->node(node_id);  // copy: plan will be mutated
+  RowRange range = node.has_slice ? node.slice : StaticOrigin(*plan, node_id);
+  if (pieces.front().begin != range.begin || pieces.back().end != range.end) {
+    return Status::InvalidArgument("pieces do not cover " + range.ToString());
+  }
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (pieces[i].size() == 0) {
+      return Status::InvalidArgument("empty piece " + pieces[i].ToString());
+    }
+    if (i > 0 && pieces[i].begin != pieces[i - 1].end) {
+      return Status::InvalidArgument("pieces are not consecutive");
     }
   }
 
   // Create the clones over consecutive subranges (dynamic partitioning keeps
   // boundaries aligned on the base column by construction, paper Fig 8).
   std::vector<int> clone_ids;
-  clone_ids.reserve(ways);
-  uint64_t chunk = range.size() / ways;
-  for (int w = 0; w < ways; ++w) {
+  clone_ids.reserve(pieces.size());
+  for (const RowRange& piece : pieces) {
     PlanNode clone = node;
     clone.id = -1;
-    clone.slice.begin = range.begin + chunk * w;
-    clone.slice.end = (w == ways - 1) ? range.end : range.begin + chunk * (w + 1);
+    clone.slice = piece;
     clone.has_slice = true;
     clone_ids.push_back(plan->AddNode(clone));
   }
@@ -415,7 +600,8 @@ void Mutator::FlattenUnions(QueryPlan* plan) {
   }
 }
 
-Status Mutator::SplitAligned(QueryPlan* plan, int node_id, int ways) {
+Status Mutator::SplitAligned(QueryPlan* plan, int node_id, int ways,
+                             const OpProfile* prof, MutationReport* report) {
   const PlanNode before = plan->node(node_id);  // copy
   RowRange before_range = before.has_slice
                               ? before.slice
@@ -436,7 +622,26 @@ Status Mutator::SplitAligned(QueryPlan* plan, int node_id, int ways) {
     union_size_before = ins.size();
   }
 
-  APQ_RETURN_NOT_OK(SplitNode(plan, node_id, ways));
+  // One pieces decision shared by this node and every alignment partner, so
+  // partner partition structures stay pairwise identical even when the
+  // boundaries came from a skewed histogram.
+  bool skewed = false;
+  auto pieces_or = PlanPieces(*plan, node_id, ways, prof, &skewed);
+  if (!pieces_or.ok()) return pieces_or.status();
+  const std::vector<RowRange> pieces = pieces_or.MoveValueOrDie();
+  APQ_RETURN_NOT_OK(SplitNodeAt(plan, node_id, pieces));
+  if (report != nullptr) {
+    report->skew_aware = skewed;
+    if (skewed) {
+      report->detail = "skew " +
+                       TablePrinter::Fmt(std::max(prof->morsel_skew,
+                                                  prof->morsel_tuple_skew),
+                                         2) +
+                       ": value-balanced re-partition of " +
+                       OpKindName(before.kind) + " into " +
+                       std::to_string(pieces.size()) + " pieces";
+    }
+  }
 
   // Alignment partners only matter for value-producing reconstruction
   // chains; row-id chains (selects) clip correctly on their own.
@@ -490,7 +695,9 @@ Status Mutator::SplitAligned(QueryPlan* plan, int node_id, int ways) {
     RowRange t_range =
         t.has_slice ? t.slice : StaticOrigin(*plan, target);
     if (!(t_range == before_range)) continue;
-    Status st = SplitNode(plan, target, ways);
+    // Same pieces as the primary split: partner alignment requires identical
+    // boundaries, uniform or skew-derived alike.
+    Status st = SplitNodeAt(plan, target, pieces);
     if (!st.ok() && st.code() != StatusCode::kUnsupported) return st;
   }
   return Status::OK();
@@ -532,16 +739,26 @@ int Mutator::FindSplittableAncestor(const QueryPlan& plan, int node_id,
   return best;
 }
 
-Status Mutator::MutateOp(QueryPlan* plan, int node_id, MutationReport* report) {
-  const PlanNode& n = plan->node(node_id);
+Status Mutator::MutateOp(QueryPlan* plan, int node_id, MutationReport* report,
+                         const OpProfile* prof) {
+  // Copy, not reference: every mutation below AddNode()s into the plan,
+  // which may reallocate the node vector — reading `n` afterwards (for the
+  // report string, or to continue scanning n.inputs for a union) would be a
+  // use-after-free (caught by the CI ASan job).
+  const PlanNode n = plan->node(node_id);
   switch (n.kind) {
     case OpKind::kSelect:
     case OpKind::kFetchJoin:
     case OpKind::kJoin: {
-      Status st = SplitAligned(plan, node_id, config_.split_ways);
+      Status st =
+          SplitAligned(plan, node_id, config_.split_ways, prof, report);
       if (st.ok()) {
-        report->action = "basic";
-        report->detail = std::string("split ") + OpKindName(n.kind);
+        if (report->skew_aware) {
+          report->action = "basic-skew";  // detail set by SplitAligned
+        } else {
+          report->action = "basic";
+          report->detail = std::string("split ") + OpKindName(n.kind);
+        }
         return Status::OK();
       }
       if (st.code() != StatusCode::kUnsupported) return st;
@@ -610,12 +827,32 @@ StatusOr<QueryPlan> Mutator::MutateMostExpensive(const QueryPlan& plan,
                                                  const RunProfile& profile,
                                                  MutationReport* report) {
   report->mutated = false;
-  // Operators ordered by measured execution time, descending.
+  // Operators ordered by effective cost, descending: measured execution time
+  // inflated by the deterministic tuple skew (capped). A skewed operator's
+  // completion time after parallelization is bounded by its densest
+  // partition, so observed skew is hidden cost — prioritizing it is what
+  // makes the feedback loop re-partition the skewed select before the GME
+  // settles, instead of after (paper Fig 12). The wall-based morsel_skew is
+  // deliberately NOT used here: it varies run to run and would scramble the
+  // victim order.
+  auto effective_cost = [](const OpProfile& op) {
+    double skew = std::min(std::max(op.morsel_tuple_skew, 1.0), 8.0);
+    return op.duration_ns() * skew;
+  };
   std::vector<int> order(profile.ops.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return profile.ops[a].duration_ns() > profile.ops[b].duration_ns();
+    return effective_cost(profile.ops[a]) > effective_cost(profile.ops[b]);
   });
+
+  // Profiles by node id, so the skew histogram of any chosen victim (target
+  // or ancestor) can accompany the mutation.
+  auto prof_of = [&profile](int node_id) -> const OpProfile* {
+    for (const auto& p : profile.ops) {
+      if (p.node_id == node_id) return &p;
+    }
+    return nullptr;
+  };
 
   for (int idx : order) {
     const OpProfile& op = profile.ops[idx];
@@ -623,7 +860,7 @@ StatusOr<QueryPlan> Mutator::MutateMostExpensive(const QueryPlan& plan,
     QueryPlan mutated = plan.Clone();
     MutationReport attempt;
     attempt.target_node = op.node_id;
-    Status st = MutateOp(&mutated, op.node_id, &attempt);
+    Status st = MutateOp(&mutated, op.node_id, &attempt, &op);
     if (st.ok()) {
       FlattenUnions(&mutated);
       attempt.mutated = true;
@@ -638,7 +875,7 @@ StatusOr<QueryPlan> Mutator::MutateMostExpensive(const QueryPlan& plan,
       QueryPlan mutated2 = plan.Clone();
       MutationReport attempt2;
       attempt2.target_node = anc;
-      Status st2 = MutateOp(&mutated2, anc, &attempt2);
+      Status st2 = MutateOp(&mutated2, anc, &attempt2, prof_of(anc));
       if (st2.ok()) {
         FlattenUnions(&mutated2);
         attempt2.mutated = true;

@@ -41,14 +41,31 @@ struct MutatorConfig {
   /// number of operators are introduced per invocation" — this knob
   /// implements that extension.
   int split_ways = 2;
+  /// Skew feedback (paper Fig 12): when the target operator's observed
+  /// morsel skew — max(OpProfile::morsel_skew, OpProfile::morsel_tuple_skew)
+  /// — reaches this threshold, the basic mutation switches from uniform
+  /// range halving to value-balanced range re-partitioning with split points
+  /// chosen from the profiled per-morsel tuple histogram. Both metrics are 1
+  /// when perfectly balanced; 1.5 flags a morsel 50% over the mean (or a
+  /// subrange 1.5x denser than the sparsest), comfortably above the noise of
+  /// balanced runs while still catching the paper's clustered-value layouts
+  /// (which profile at 2-3x).
+  double skew_threshold = 1.5;
+  /// Upper bound on partitions created by one skew-aware re-partition (the
+  /// strongest density edges win). Uniform basic splits keep using
+  /// split_ways.
+  int skew_max_ways = 8;
 };
 
 /// \brief What a mutation step did (for traces and tests).
 struct MutationReport {
   bool mutated = false;
   int target_node = -1;       // the operator that was parallelized
-  std::string action;         // "basic", "medium", "advanced", ...
+  std::string action;         // "basic", "basic-skew", "medium", "advanced"
   std::string detail;
+  /// True when the basic mutation used skew-aware value-balanced range
+  /// re-partitioning instead of uniform halving.
+  bool skew_aware = false;
 };
 
 /// \brief Applies the three mutation schemes to query plans.
@@ -95,16 +112,58 @@ class Mutator {
   /// sibling value chains consumed by the same binary map or group-by /
   /// aggregate pair — so that later medium/advanced mutations stay
   /// applicable (the paper's §2.2 "resolving propagation dependencies").
-  Status SplitAligned(QueryPlan* plan, int node_id, int ways = 2);
+  /// When `prof` (the node's profile from the run that chose it) shows skew
+  /// at or above MutatorConfig::skew_threshold, the split points are chosen
+  /// from the profiled per-morsel tuple histogram instead of uniform
+  /// chunking (paper Fig 12 dynamic partitioning); partners follow the same
+  /// points so partition structures stay pairwise aligned. `report` (if
+  /// non-null) records whether the skew-aware path was taken.
+  Status SplitAligned(QueryPlan* plan, int node_id, int ways = 2,
+                      const OpProfile* prof = nullptr,
+                      MutationReport* report = nullptr);
+
+  /// Value-balanced split points for `range` derived from a per-morsel
+  /// tuple histogram whose entries carry base-row domains (paper Fig 12):
+  /// boundaries land on the strongest per-row weight-density edges (weight =
+  /// tuples_in + 2*tuples_out), or on equal-cumulative-weight quantiles when
+  /// the density has no sharp edge. Returns interior split rows (ascending,
+  /// every resulting piece >= min_partition_rows, at most max_pieces - 1
+  /// points); empty when the histogram carries no usable domain information
+  /// — the caller then falls back to uniform chunking.
+  static std::vector<uint64_t> SkewSplitPoints(
+      RowRange range, const std::vector<MorselMetrics>& hist,
+      uint64_t min_partition_rows, int max_pieces, int fallback_ways);
 
   /// Splices unions that feed unions (mat.pack is associative and order
   /// preserving); keeps partition structure flat and pairwise comparable.
   static void FlattenUnions(QueryPlan* plan);
 
  private:
+  /// The shared basic-split eligibility gate: parallelizable kind, and not a
+  /// pairs-fed fetch-join (which cannot be range-split order-preservingly).
+  static Status CheckBasicSplittable(const QueryPlan& plan, int node_id);
+
   /// Mutates one specific operator according to its kind; Unsupported if this
-  /// operator cannot be parallelized in its current form.
-  Status MutateOp(QueryPlan* plan, int node_id, MutationReport* report);
+  /// operator cannot be parallelized in its current form. `prof` is the
+  /// operator's profile from the run that selected it (may be null — e.g.
+  /// from the heuristic parallelizer — in which case splits are uniform).
+  Status MutateOp(QueryPlan* plan, int node_id, MutationReport* report,
+                  const OpProfile* prof);
+
+  /// Computes the range pieces a basic split of `node_id` would create:
+  /// skew-aware (value-balanced, from prof's morsel histogram) when prof
+  /// crosses the skew threshold, uniform `ways` chunks otherwise. Performs
+  /// the basic-split eligibility checks.
+  StatusOr<std::vector<RowRange>> PlanPieces(const QueryPlan& plan,
+                                             int node_id, int ways,
+                                             const OpProfile* prof,
+                                             bool* skewed) const;
+
+  /// Basic split of `node_id` onto the given consecutive range pieces,
+  /// packing the clones with an exchange union (splicing into an existing
+  /// union consumer to keep partition order, per Fig 8).
+  Status SplitNodeAt(QueryPlan* plan, int node_id,
+                     const std::vector<RowRange>& pieces);
 
   /// Finds the most expensive splittable ancestor of `node_id` (used when a
   /// non-filtering operator's input is not yet partitioned).

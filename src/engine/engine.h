@@ -42,6 +42,11 @@ struct EngineConfig {
   /// merge (exec/sort/; see ExecOptions::use_parallel_sort). Only active
   /// when morsels are on.
   bool use_parallel_sort = true;
+  /// Runtime skew response (see ExecOptions::adaptive_morsel_rows): the
+  /// adaptive loop shrinks the morsel size of operators whose previous run
+  /// crossed MutatorConfig::skew_threshold, so stealing rebalances within
+  /// the operator between mutations.
+  bool adaptive_morsel_rows = true;
   /// Morsel scheduler to share with other engines/queries. When null and
   /// use_morsels is set, the engine creates its own; pass
   /// MorselScheduler::Shared() (or another engine's morsel_scheduler()) so
@@ -144,6 +149,7 @@ class Engine {
     o.morsel_workers = c.morsel_workers;
     o.use_parallel_agg = c.use_parallel_agg;
     o.use_parallel_sort = c.use_parallel_sort;
+    o.adaptive_morsel_rows = c.adaptive_morsel_rows;
     return o;
   }
 

@@ -1,7 +1,9 @@
 #include "exec/evaluator.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <numeric>
 #include <unordered_map>
@@ -69,15 +71,42 @@ Status InputSlot(const std::vector<Intermediate>& slots,
 // without touching call sites. Returns 0 when unset/off, 1 when set (keep the
 // configured morsel size), or a row count when the variable carries one
 // (APQ_FORCE_MORSELS=4096 — small enough that unit-test tables split too).
+// Anything that does not parse as a sane row count is rejected with a
+// one-line warning rather than silently becoming an undefined morsel size.
 uint64_t ForcedMorselRowsFromEnv() {
+  // A morsel bigger than this could only mean a typo (it exceeds any table
+  // this repository can hold in memory) or a negative value pushed through
+  // strtoull's modular wrap.
+  constexpr unsigned long long kMaxSaneMorselRows = 1ull << 32;
   static const uint64_t forced = [] {
     const char* v = std::getenv("APQ_FORCE_MORSELS");
     if (v == nullptr || v[0] == '\0') return uint64_t{0};
     char* end = nullptr;
+    errno = 0;
     const unsigned long long n = std::strtoull(v, &end, 10);
-    if (*end != '\0') return uint64_t{1};  // non-numeric ("true", "on"): force
-    // Fully numeric: 0 disables (any zero spelling), 1 forces with the
-    // configured size, larger values force that many rows per morsel.
+    if (end == v || *end != '\0') {
+      std::fprintf(stderr,
+                   "apq: ignoring APQ_FORCE_MORSELS=\"%s\": not a number "
+                   "(use 1 to force, or a rows-per-morsel count)\n",
+                   v);
+      return uint64_t{0};
+    }
+    if (errno == ERANGE || n > kMaxSaneMorselRows) {
+      std::fprintf(stderr,
+                   "apq: ignoring APQ_FORCE_MORSELS=\"%s\": absurd morsel "
+                   "size (max %llu rows)\n",
+                   v, kMaxSaneMorselRows);
+      return uint64_t{0};
+    }
+    if (n == 0) {
+      std::fprintf(stderr,
+                   "apq: APQ_FORCE_MORSELS=\"%s\" parses to 0; morsel "
+                   "execution is NOT forced\n",
+                   v);
+      return uint64_t{0};
+    }
+    // 1 forces with the configured size, larger values force that many rows
+    // per morsel.
     return static_cast<uint64_t>(n);
   }();
   return forced;
@@ -108,6 +137,16 @@ uint64_t Evaluator::EffectiveMorselRows() const {
   return forced > 1 ? forced : options_.morsel_rows;
 }
 
+uint64_t Evaluator::ForcedEnvMorselRows() { return ForcedMorselRowsFromEnv(); }
+
+uint64_t Evaluator::MorselRowsForNode(int node_id) const {
+  if (options_.adaptive_morsel_rows && !adaptive_rows_.empty()) {
+    auto it = adaptive_rows_.find(node_id);
+    if (it != adaptive_rows_.end() && it->second > 0) return it->second;
+  }
+  return EffectiveMorselRows();
+}
+
 const std::shared_ptr<MorselScheduler>& Evaluator::EnsureMorselScheduler() {
   if (!morsel_sched_) {
     morsel_sched_ = std::make_shared<MorselScheduler>(options_.morsel_workers);
@@ -120,7 +159,7 @@ size_t Evaluator::MorselSelectDense(const Column& col, RowRange range,
                                     const Predicate& pred,
                                     const std::vector<uint8_t>* like_match,
                                     Intermediate* result, OpMetrics* m) {
-  MorselSource src(range, EffectiveMorselRows());
+  MorselSource src(range, MorselRowsForNode(m->node_id));
   const size_t nm = src.num_morsels();
   if (nm < 2) return 0;  // one morsel = whole column; skip the detour
 
@@ -133,7 +172,8 @@ size_t Evaluator::MorselSelectDense(const Column& col, RowRange range,
     const Morsel ms = src.morsel(i);
     const double t0 = NowNs();
     SelectDense(col, RowRange{ms.begin, ms.end}, pred, like_match, &frags[i]);
-    mm[i] = MorselMetrics{ms.size(), frags[i].size(), NowNs() - t0, worker};
+    mm[i] = MorselMetrics{ms.size(), frags[i].size(), NowNs() - t0, worker,
+                          ms.begin, ms.end};
   });
 
   size_t total = 0;
@@ -151,7 +191,7 @@ size_t Evaluator::MorselSelectCandidates(const Column& col, RowRange range,
                                          const std::vector<uint8_t>* like_match,
                                          const std::vector<oid>& candidates,
                                          Intermediate* result, OpMetrics* m) {
-  MorselSource src(0, candidates.size(), EffectiveMorselRows());
+  MorselSource src(0, candidates.size(), MorselRowsForNode(m->node_id));
   const size_t nm = src.num_morsels();
   if (nm < 2) return 0;
 
@@ -164,7 +204,14 @@ size_t Evaluator::MorselSelectCandidates(const Column& col, RowRange range,
     SelectCandidatesSpan(col, range, pred, like_match,
                          candidates.data() + ms.begin, ms.size(), &frags[i],
                          &accesses[i]);
-    mm[i] = MorselMetrics{ms.size(), frags[i].size(), NowNs() - t0, worker};
+    // Ascending candidate span; a span crossing this clone's slice boundary
+    // reports no domain (see MorselGather's domain note — the tuple counts
+    // would be diluted by clip-only candidates).
+    uint64_t db = candidates[ms.begin];
+    uint64_t de = candidates[ms.end - 1] + 1;
+    if (db < range.begin || de > range.end) db = de = 0;
+    mm[i] = MorselMetrics{ms.size(), frags[i].size(), NowNs() - t0, worker,
+                          db, de};
   });
 
   size_t total = 0;
@@ -183,10 +230,26 @@ Status Evaluator::MorselGather(const Column& col, const std::vector<oid>& ids,
                                RowRange range, bool sliced, AlignPolicy align,
                                Intermediate* result, OpMetrics* m, bool* ran) {
   *ran = false;
-  MorselSource src(0, ids.size(), EffectiveMorselRows());
+  MorselSource src(0, ids.size(), MorselRowsForNode(m->node_id));
   const size_t nm = src.num_morsels();
   if (nm < 2) return Status::OK();
   *ran = true;
+  // Candidate row ids from selects are ascending, so [first, last+1) is the
+  // base-row domain this morsel covers; the skew-aware mutator validates
+  // monotonicity before using it (pairs-fed id lists may be unsorted). A
+  // sliced clone only owns its slice's share of the candidate span — a
+  // morsel whose span crosses the slice boundary (fully or partially) has
+  // its tuple counts diluted by clip-only candidates, so its domain is
+  // reported unknown and the operator's tuple-skew signal is withheld
+  // rather than mistaking clipping for skew.
+  auto domain = [&ids, &range, sliced](const Morsel& ms) {
+    uint64_t db = ids[ms.begin];
+    uint64_t de = ids[ms.end - 1] + 1;
+    if (sliced && (db < range.begin || de > range.end)) {
+      return std::pair<uint64_t, uint64_t>{0, 0};
+    }
+    return std::pair<uint64_t, uint64_t>{db, de};
+  };
 
   // Without kAdjust clipping every id yields exactly one output (strict
   // slices validate, they don't drop), so morsel i owns exactly the output
@@ -210,8 +273,9 @@ Status Evaluator::MorselGather(const Column& col, const std::vector<oid>& ids,
                                  /*strict_sliced=*/sliced,
                                  result->head.data() + hbase + ms.begin,
                                  &result->values, vbase + ms.begin);
+      const auto [db, de] = domain(ms);
       direct_mm[i] =
-          MorselMetrics{ms.size(), ms.size(), NowNs() - t0, worker};
+          MorselMetrics{ms.size(), ms.size(), NowNs() - t0, worker, db, de};
     });
     // Lowest failing morsel = input-order first offender, matching the
     // whole-list error; the partially written result is discarded upstream.
@@ -239,8 +303,9 @@ Status Evaluator::MorselGather(const Column& col, const std::vector<oid>& ids,
     frags[i].status =
         GatherRowsSpan(col, ids.data() + ms.begin, ms.size(), range, sliced,
                        align, &frags[i].head, &frags[i].values);
+    const auto [db, de] = domain(ms);
     mm[i] = MorselMetrics{ms.size(), frags[i].values.size(), NowNs() - t0,
-                          worker};
+                          worker, db, de};
   });
 
   // Errors surface from the lowest-indexed failing morsel: morsel order is
@@ -264,7 +329,7 @@ Status Evaluator::MorselGather(const Column& col, const std::vector<oid>& ids,
 size_t Evaluator::MorselGroupBy(const int64_t* keys, uint64_t n,
                                 Intermediate* result, OpMetrics* m) {
   ParallelAggOptions o;
-  o.morsel_rows = EffectiveMorselRows();
+  o.morsel_rows = MorselRowsForNode(m->node_id);
   o.scheduler = EnsureMorselScheduler().get();
   std::vector<MorselMetrics> mm;
   const size_t nm = ParallelGroupBy(keys, n, o, &result->group_ids,
@@ -300,7 +365,7 @@ size_t Evaluator::MorselSortPerm(const SortKeys& keys, uint64_t n,
                                  bool descending, uint64_t limit,
                                  std::vector<uint64_t>* perm, OpMetrics* m) {
   ParallelSortOptions o;
-  o.morsel_rows = EffectiveMorselRows();
+  o.morsel_rows = MorselRowsForNode(m->node_id);
   o.scheduler = EnsureMorselScheduler().get();
   o.limit = limit;
   std::vector<std::vector<uint64_t>> runs;
@@ -329,7 +394,7 @@ size_t Evaluator::MorselJoinProbe(
     const std::function<void(uint64_t, uint64_t, std::vector<oid>*,
                              std::vector<oid>*)>& probe_span,
     Intermediate* result, OpMetrics* m) {
-  MorselSource src(0, n, EffectiveMorselRows());
+  MorselSource src(0, n, MorselRowsForNode(m->node_id));
   const size_t nm = src.num_morsels();
   if (nm < 2) return 0;
 

@@ -103,6 +103,13 @@ struct ExecOptions {
   /// candidates. Only active when morsels are enabled (use_morsels /
   /// APQ_FORCE_MORSELS, which forces this tier on too).
   bool use_parallel_sort = true;
+  /// Honor per-node morsel-size overrides injected between runs via
+  /// SetAdaptiveMorselRows: the adaptive loop shrinks the morsel size of
+  /// operators whose previous run showed high intra-operator skew, so
+  /// work-stealing rebalances within the operator (more, smaller tasks)
+  /// before the mutator has even re-partitioned it. Results stay
+  /// bit-identical at any morsel size; this only changes task granularity.
+  bool adaptive_morsel_rows = true;
 };
 
 /// \brief Interprets plans operator-at-a-time (like MonetDB's MAL
@@ -177,6 +184,29 @@ class Evaluator {
   /// Rows per morsel actually used: options().morsel_rows, unless
   /// APQ_FORCE_MORSELS carries an explicit row count (e.g. =4096).
   uint64_t EffectiveMorselRows() const;
+
+  /// The validated APQ_FORCE_MORSELS value: 0 = unset/off/rejected, 1 = on
+  /// with the configured size, >1 = forced rows per morsel. Exposed so tests
+  /// reason about the forced size with the evaluator's own parsing instead
+  /// of re-implementing it.
+  static uint64_t ForcedEnvMorselRows();
+
+  /// Rows per morsel for one specific plan node: the adaptive override when
+  /// one was injected (and options().adaptive_morsel_rows is on), otherwise
+  /// EffectiveMorselRows().
+  uint64_t MorselRowsForNode(int node_id) const;
+
+  /// Injects per-node morsel-size overrides for subsequent Execute() calls
+  /// (the adaptive executor's runtime response to observed morsel skew).
+  /// Replaces any previous hints; must not be called concurrently with an
+  /// Execute(). Node ids refer to the next plan to be executed — mutated
+  /// clones get fresh ids and therefore no stale hints.
+  void SetAdaptiveMorselRows(std::unordered_map<int, uint64_t> rows_by_node) {
+    adaptive_rows_ = std::move(rows_by_node);
+  }
+  const std::unordered_map<int, uint64_t>& adaptive_morsel_rows() const {
+    return adaptive_rows_;
+  }
 
  private:
   /// Read view over per-node result slots during one execution. A node id is
@@ -277,6 +307,9 @@ class Evaluator {
   std::unique_ptr<ThreadPool> pool_;  // lazily created when num_threads > 1
   std::shared_ptr<MorselScheduler> morsel_sched_;  // injected or lazy
   bool morsel_sched_owned_ = false;   // true iff lazily created (not injected)
+  /// Per-node morsel-size overrides for the next Execute (adaptive skew
+  /// response); read-only during execution.
+  std::unordered_map<int, uint64_t> adaptive_rows_;
 
   /// One cache entry per join-inner column. The per-entry once_flag is the
   /// build latch: concurrent first builds of *different* inners proceed in

@@ -30,6 +30,15 @@ struct MorselMetrics {
   double wall_ns = 0;
   int worker = -1;  ///< executing scheduler worker; -1 = caller thread
                     ///< (MorselScheduler::kCallerWorker)
+  /// Base-table row interval [domain_begin, domain_end) of the operator's
+  /// primary column this morsel covered: the morsel's row subrange for dense
+  /// scans, the first..last candidate row id for candidate/fetch-join id
+  /// lists. domain_begin == domain_end means the domain is unknown (group-by
+  /// ingest, sort runs, probe positions). This is what lets the skew-aware
+  /// mutator translate a per-morsel tuple histogram back into range split
+  /// points (paper Fig 12 dynamic partitioning).
+  uint64_t domain_begin = 0;
+  uint64_t domain_end = 0;
 };
 
 /// \brief One morsel: the half-open interval [begin, end) of the input.

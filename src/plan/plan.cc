@@ -211,6 +211,21 @@ PlanStats QueryPlan::Stats() const {
   return s;
 }
 
+std::vector<RowRange> PartitionSlices(const QueryPlan& plan, OpKind kind) {
+  std::vector<RowRange> slices;
+  auto order_or = plan.TopologicalOrder();
+  if (!order_or.ok()) return slices;
+  for (int id : order_or.ValueOrDie()) {
+    const PlanNode& n = plan.node(id);
+    if (n.kind == kind && n.has_slice) slices.push_back(n.slice);
+  }
+  std::sort(slices.begin(), slices.end(),
+            [](const RowRange& a, const RowRange& b) {
+              return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
+            });
+  return slices;
+}
+
 std::string QueryPlan::ToString() const {
   std::ostringstream os;
   os << "plan " << name_ << " {\n";

@@ -74,6 +74,12 @@ class QueryPlan {
   int result_id_ = -1;
 };
 
+/// \brief Range-partition slices of every reachable node of `kind`, sorted by
+/// begin row — the converged partitioning a sequence of basic mutations
+/// produced (uniform chunks or the skew-aware value-balanced boundaries),
+/// as inspected by tests and the Fig 12 bench.
+std::vector<RowRange> PartitionSlices(const QueryPlan& plan, OpKind kind);
+
 }  // namespace apq
 
 #endif  // APQ_PLAN_PLAN_H_

@@ -40,6 +40,55 @@ double RunProfile::MaxMorselSkew() const {
   return worst;
 }
 
+double RunProfile::MaxMorselTupleSkew() const {
+  double worst = 0;
+  for (const auto& op : ops) worst = std::max(worst, op.morsel_tuple_skew);
+  return worst;
+}
+
+void OpProfile::ComputeSkewFromMorsels() {
+  num_morsels = morsels.size();
+  morsel_skew = 0;
+  morsel_tuple_skew = 0;
+  if (morsels.empty()) return;
+
+  // Wall-time skew: max/mean morsel wall time. 1 = balanced, >1 = some
+  // morsel (a dense value cluster, a hot dictionary range) dominated — skew
+  // invisible at whole-operator granularity. Hardware truth; varies run to
+  // run.
+  double total = 0, peak = 0;
+  for (const auto& ms : morsels) {
+    total += ms.wall_ns;
+    peak = std::max(peak, ms.wall_ns);
+  }
+  double mean = total / static_cast<double>(morsels.size());
+  morsel_skew = mean > 0 ? peak / mean : 1.0;
+
+  // Tuple-weight skew: deterministic max/min per-row weight density over the
+  // covered base-row domains. Weight models scan cost per covered row plus
+  // materialization cost per produced tuple; requires every morsel to carry
+  // a valid, strictly ascending domain (otherwise the densities are not
+  // comparable and the signal is reported as absent).
+  double dmin = 0, dmax = 0;
+  uint64_t prev_end = 0;
+  for (size_t i = 0; i < morsels.size(); ++i) {
+    const auto& ms = morsels[i];
+    if (ms.domain_end <= ms.domain_begin) return;
+    if (i > 0 && ms.domain_begin < prev_end) return;
+    prev_end = ms.domain_end;
+    double d = (static_cast<double>(ms.tuples_in) +
+                2.0 * static_cast<double>(ms.tuples_out)) /
+               static_cast<double>(ms.domain_end - ms.domain_begin);
+    if (i == 0) {
+      dmin = dmax = d;
+    } else {
+      dmin = std::min(dmin, d);
+      dmax = std::max(dmax, d);
+    }
+  }
+  morsel_tuple_skew = dmin > 0 ? dmax / dmin : (dmax > 0 ? dmax * 1e9 : 1.0);
+}
+
 std::vector<SimTask> BuildSimTasks(const QueryPlan& plan,
                                    const std::vector<OpMetrics>& metrics,
                                    const CostModel& cost_model, int instance,
@@ -86,19 +135,8 @@ RunProfile MakeRunProfile(const QueryPlan& plan,
     op.core = timings[i].core;
     op.tuples_in = metrics[i].tuples_in;
     op.tuples_out = metrics[i].tuples_out;
-    op.num_morsels = metrics[i].morsels.size();
-    if (op.num_morsels > 0) {
-      // max/mean wall time across the operator's morsels: 1 = balanced,
-      // >1 = some morsel (a dense value cluster, a hot dictionary range)
-      // dominated — skew invisible at whole-operator granularity.
-      double total = 0, peak = 0;
-      for (const auto& ms : metrics[i].morsels) {
-        total += ms.wall_ns;
-        peak = std::max(peak, ms.wall_ns);
-      }
-      double mean = total / static_cast<double>(op.num_morsels);
-      op.morsel_skew = mean > 0 ? peak / mean : 1.0;
-    }
+    op.morsels = metrics[i].morsels;
+    op.ComputeSkewFromMorsels();
     rp.ops.push_back(op);
   }
   return rp;
@@ -106,21 +144,25 @@ RunProfile MakeRunProfile(const QueryPlan& plan,
 
 std::string RenderOpReport(const RunProfile& profile) {
   TablePrinter tp({"node", "op", "label", "time_ms", "tuples_in", "tuples_out",
-                   "morsels", "skew"});
+                   "morsels", "skew", "tskew"});
   for (const auto& op : profile.ops) {
     tp.AddRow({std::to_string(op.node_id), OpKindName(op.kind), op.label,
                TablePrinter::Fmt(op.duration_ns() / 1e6, 3),
                std::to_string(op.tuples_in), std::to_string(op.tuples_out),
                std::to_string(op.num_morsels),
                op.num_morsels > 0 ? TablePrinter::Fmt(op.morsel_skew, 2)
-                                  : "-"});
+                                  : "-",
+               op.morsel_tuple_skew > 0
+                   ? TablePrinter::Fmt(op.morsel_tuple_skew, 2)
+                   : "-"});
   }
   std::ostringstream os;
   os << tp.ToString();
   os << "makespan " << TablePrinter::Fmt(profile.makespan_ns / 1e6, 3)
      << " ms, utilization " << TablePrinter::Fmt(profile.utilization * 100, 1)
      << "%, max morsel skew "
-     << TablePrinter::Fmt(profile.MaxMorselSkew(), 2) << "\n";
+     << TablePrinter::Fmt(profile.MaxMorselSkew(), 2) << " (tuple skew "
+     << TablePrinter::Fmt(profile.MaxMorselTupleSkew(), 2) << ")\n";
   return os.str();
 }
 

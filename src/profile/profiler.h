@@ -31,8 +31,26 @@ struct OpProfile {
   /// inter-operator times.
   uint64_t num_morsels = 0;
   double morsel_skew = 0;
+  /// Deterministic companion to the wall-time skew: max over min per-row
+  /// tuple-weight density across the operator's morsels (weight = tuples_in
+  /// + 2*tuples_out, normalized by each morsel's covered base-row domain).
+  /// 1 = the tuple work is evenly spread over the operator's range; >1 = the
+  /// output (and hence materialization cost) concentrates in part of the
+  /// range — the paper's Fig 12 value skew. 0 when the morsels carry no
+  /// usable domain information (group-by ingest, sort runs, probe
+  /// positions). Unlike morsel_skew this is identical run-to-run, so the
+  /// mutator can act on it without chasing hardware noise.
+  double morsel_tuple_skew = 0;
+  /// Per-morsel tuple/time histogram in morsel (= input) order, copied from
+  /// OpMetrics::morsels: the raw feedback the skew-aware mutator turns into
+  /// value-balanced range split points.
+  std::vector<MorselMetrics> morsels;
 
   double duration_ns() const { return end_ns - start_ns; }
+
+  /// Fills num_morsels / morsel_skew / morsel_tuple_skew from `morsels`
+  /// (also used by tests to build synthetic skewed profiles).
+  void ComputeSkewFromMorsels();
 };
 
 /// \brief Profile of one complete query run on the simulated machine.
@@ -55,6 +73,10 @@ struct RunProfile {
   /// Worst intra-operator morsel skew across the run (0 when no operator ran
   /// morsel-driven).
   double MaxMorselSkew() const;
+
+  /// Worst deterministic per-operator tuple-weight skew across the run (0
+  /// when no morselized operator carried domain information).
+  double MaxMorselTupleSkew() const;
 };
 
 /// \brief Builds simulator tasks from evaluated metrics, wiring dataflow

@@ -29,6 +29,9 @@ std::shared_ptr<Catalog> GenerateSkewed(const SkewConfig& config);
 /// by covering random-range plus whole clusters:
 /// pct 10 -> ~10% of rows match (one cluster), pct 50 -> all five clusters.
 /// Matches are concentrated in the second half — the paper's "% Skew" axis.
+/// pct > 50 additionally matches the fraction (pct-50)/50 of the random
+/// half (scattered uniformly), so ~pct% of the table matches overall while
+/// the dense clusters keep the positional concentration.
 StatusOr<QueryPlan> SkewedSelectPlan(const Catalog& cat,
                                      const SkewConfig& config, int pct_skew);
 

@@ -318,6 +318,181 @@ TEST_F(MutatorTest, MutateMostExpensiveFallsBackToAncestorForAggregate) {
   EXPECT_EQ(report.action, "basic");
 }
 
+/// Attaches a synthetic morsel histogram to `node` of `rp`: `outs[i]` tuples
+/// produced by morsel i, each morsel covering `rows_per_morsel` consecutive
+/// base rows starting at `base` (domain unknown when rows_per_morsel == 0).
+void AttachMorsels(RunProfile* rp, int node,
+                   const std::vector<uint64_t>& outs,
+                   uint64_t rows_per_morsel, uint64_t base = 0) {
+  for (auto& op : rp->ops) {
+    if (op.node_id != node) continue;
+    op.morsels.clear();
+    for (size_t i = 0; i < outs.size(); ++i) {
+      MorselMetrics ms;
+      ms.tuples_in = rows_per_morsel > 0 ? rows_per_morsel : 1000;
+      ms.tuples_out = outs[i];
+      ms.wall_ns = 1000;  // balanced wall times: only the tuple signal skews
+      if (rows_per_morsel > 0) {
+        ms.domain_begin = base + i * rows_per_morsel;
+        ms.domain_end = ms.domain_begin + rows_per_morsel;
+      }
+      op.morsels.push_back(ms);
+    }
+    op.ComputeSkewFromMorsels();
+  }
+}
+
+std::vector<RowRange> SelectSlices(const QueryPlan& plan) {
+  return PartitionSlices(plan, OpKind::kSelect);
+}
+
+TEST_F(MutatorTest, HighSkewProfileFlipsBasicSplitToRangeRepartition) {
+  // The select's profiled histogram concentrates output in morsels 5-6
+  // (density 3x the rest): the basic mutation must re-partition on the
+  // density edges at rows 10000 and 14000 instead of halving at 10000.
+  QueryPlan plan = SelectPlan();
+  Intermediate serial = Eval(plan);
+  Mutator m(cfg_);
+  RunProfile rp = FakeProfile(plan, 0);
+  AttachMorsels(&rp, 0, {0, 0, 0, 0, 0, 2000, 2000, 0, 0, 0}, 2000);
+  ASSERT_GE(rp.ops[0].morsel_tuple_skew, m.config().skew_threshold);
+  MutationReport report;
+  auto mutated = m.MutateMostExpensive(plan, rp, &report);
+  ASSERT_TRUE(mutated.ok());
+  EXPECT_TRUE(report.mutated);
+  EXPECT_TRUE(report.skew_aware);
+  EXPECT_EQ(report.action, "basic-skew");
+  EXPECT_EQ(report.target_node, 0);
+  std::vector<RowRange> slices = SelectSlices(mutated.ValueOrDie());
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0], (RowRange{0, 10000}));
+  EXPECT_EQ(slices[1], (RowRange{10000, 14000}));
+  EXPECT_EQ(slices[2], (RowRange{14000, 20000}));
+  EXPECT_TRUE(IntermediatesEqual(serial, Eval(mutated.ValueOrDie()), 1e-6));
+}
+
+TEST_F(MutatorTest, BalancedProfileKeepsUniformHalving) {
+  // Same histogram shape but evenly spread output: no skew, uniform split.
+  QueryPlan plan = SelectPlan();
+  Mutator m(cfg_);
+  RunProfile rp = FakeProfile(plan, 0);
+  AttachMorsels(&rp, 0, std::vector<uint64_t>(10, 400), 2000);
+  EXPECT_LT(rp.ops[0].morsel_tuple_skew, m.config().skew_threshold);
+  MutationReport report;
+  auto mutated = m.MutateMostExpensive(plan, rp, &report);
+  ASSERT_TRUE(mutated.ok());
+  EXPECT_TRUE(report.mutated);
+  EXPECT_FALSE(report.skew_aware);
+  EXPECT_EQ(report.action, "basic");
+  std::vector<RowRange> slices = SelectSlices(mutated.ValueOrDie());
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0], (RowRange{0, 10000}));
+  EXPECT_EQ(slices[1], (RowRange{10000, 20000}));
+}
+
+TEST_F(MutatorTest, SkewThresholdKnobDisablesRepartitioning) {
+  // A prohibitive threshold (the uniform-baseline configuration used by the
+  // Fig 12 bench) keeps halving even on a maximally skewed histogram.
+  QueryPlan plan = SelectPlan();
+  MutatorConfig cfg = cfg_;
+  cfg.skew_threshold = 1e30;
+  Mutator m(cfg);
+  RunProfile rp = FakeProfile(plan, 0);
+  AttachMorsels(&rp, 0, {0, 0, 0, 0, 0, 2000, 2000, 0, 0, 0}, 2000);
+  MutationReport report;
+  auto mutated = m.MutateMostExpensive(plan, rp, &report);
+  ASSERT_TRUE(mutated.ok());
+  EXPECT_FALSE(report.skew_aware);
+  EXPECT_EQ(report.action, "basic");
+  EXPECT_EQ(SelectSlices(mutated.ValueOrDie()).size(), 2u);
+}
+
+TEST_F(MutatorTest, UnknownMorselDomainsFallBackToUniform) {
+  // Histograms without base-row domains (group-by ingest, sort runs) cannot
+  // be mapped to split points; the mutation quietly stays uniform.
+  QueryPlan plan = SelectPlan();
+  Mutator m(cfg_);
+  RunProfile rp = FakeProfile(plan, 0);
+  AttachMorsels(&rp, 0, {0, 0, 0, 0, 0, 2000, 2000, 0, 0, 0},
+                /*rows_per_morsel=*/0);
+  ASSERT_EQ(rp.ops[0].morsel_tuple_skew, 0.0);
+  rp.ops[0].morsel_skew = 10.0;  // wall-skew trigger without domain info
+  MutationReport report;
+  auto mutated = m.MutateMostExpensive(plan, rp, &report);
+  ASSERT_TRUE(mutated.ok());
+  EXPECT_FALSE(report.skew_aware);
+  EXPECT_EQ(report.action, "basic");
+  EXPECT_EQ(SelectSlices(mutated.ValueOrDie()).size(), 2u);
+}
+
+TEST_F(MutatorTest, SkewSplitPointsLandOnDensityEdges) {
+  std::vector<MorselMetrics> hist;
+  for (int i = 0; i < 10; ++i) {
+    MorselMetrics ms;
+    ms.tuples_in = 2000;
+    ms.tuples_out = (i == 5 || i == 6) ? 2000 : 0;
+    ms.domain_begin = static_cast<uint64_t>(i) * 2000;
+    ms.domain_end = ms.domain_begin + 2000;
+    hist.push_back(ms);
+  }
+  auto points = Mutator::SkewSplitPoints(RowRange{0, 20000}, hist,
+                                         /*min_partition_rows=*/256,
+                                         /*max_pieces=*/8,
+                                         /*fallback_ways=*/2);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0], 10000u);
+  EXPECT_EQ(points[1], 14000u);
+
+  // min_partition_rows prunes the edge that would create a 4000-row piece.
+  points = Mutator::SkewSplitPoints(RowRange{0, 20000}, hist, 5000, 8, 2);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0], 10000u);
+}
+
+TEST_F(MutatorTest, SkewSplitPointsQuarantineStraddlingMorsel) {
+  // A value boundary inside morsel 5 dilutes both adjacent density steps
+  // below the 2x edge ratio (1.0 | 1.8 | 3.0): the two-step pattern must
+  // isolate the straddling morsel into its own piece so both neighbours
+  // stay homogeneous.
+  std::vector<MorselMetrics> hist;
+  for (int i = 0; i < 10; ++i) {
+    MorselMetrics ms;
+    ms.tuples_in = 2000;
+    ms.tuples_out = i < 5 ? 0 : (i == 5 ? 800 : 2000);
+    ms.domain_begin = static_cast<uint64_t>(i) * 2000;
+    ms.domain_end = ms.domain_begin + 2000;
+    hist.push_back(ms);
+  }
+  auto points = Mutator::SkewSplitPoints(RowRange{0, 20000}, hist, 256, 8, 2);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0], 10000u);  // cold | straddler
+  EXPECT_EQ(points[1], 12000u);  // straddler | hot
+}
+
+TEST_F(MutatorTest, SkewSplitPointsQuantileFallbackOnSmoothGradient) {
+  // Density rises gently (no adjacent >= 2x edge) but spreads > 2x overall:
+  // the split point falls on the equal-cumulative-weight boundary, not the
+  // row midpoint.
+  std::vector<MorselMetrics> hist;
+  for (int i = 0; i < 10; ++i) {
+    MorselMetrics ms;
+    ms.tuples_in = 2000;
+    ms.tuples_out = static_cast<uint64_t>(i) * 250;
+    ms.domain_begin = static_cast<uint64_t>(i) * 2000;
+    ms.domain_end = ms.domain_begin + 2000;
+    hist.push_back(ms);
+  }
+  auto points = Mutator::SkewSplitPoints(RowRange{0, 20000}, hist, 256, 8, 2);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0], 14000u);  // weighted median boundary (> 10000)
+
+  // A flat histogram must produce no points at all (wall-noise triggers
+  // degrade to uniform halving).
+  for (auto& ms : hist) ms.tuples_out = 400;
+  EXPECT_TRUE(
+      Mutator::SkewSplitPoints(RowRange{0, 20000}, hist, 256, 8, 2).empty());
+}
+
 TEST_F(MutatorTest, StaticOriginFollowsDataflow) {
   QueryPlan plan = JoinPlan();
   // Select leaf: full column.

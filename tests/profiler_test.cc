@@ -173,6 +173,60 @@ TEST_F(ProfilerTest, OpReportCoversMorselizedSorts) {
   EXPECT_NE(report.find("sort"), std::string::npos);
 }
 
+TEST_F(ProfilerTest, TupleSkewIsDeterministicAndDomainGated) {
+  // morsel_tuple_skew = max/min per-row weight density over the covered
+  // domains: 3.0 when two of ten equal-size morsels produce full output,
+  // independent of wall times; absent (0) without domain info.
+  OpProfile op;
+  for (int i = 0; i < 10; ++i) {
+    MorselMetrics ms;
+    ms.tuples_in = 1000;
+    ms.tuples_out = (i == 4 || i == 5) ? 1000 : 0;
+    ms.wall_ns = 100 + 37 * i;  // arbitrary: must not affect the signal
+    ms.domain_begin = static_cast<uint64_t>(i) * 1000;
+    ms.domain_end = ms.domain_begin + 1000;
+    op.morsels.push_back(ms);
+  }
+  op.ComputeSkewFromMorsels();
+  EXPECT_EQ(op.num_morsels, 10u);
+  EXPECT_DOUBLE_EQ(op.morsel_tuple_skew, 3.0);
+
+  // Unknown domains withhold the signal entirely.
+  for (auto& ms : op.morsels) ms.domain_begin = ms.domain_end = 0;
+  op.ComputeSkewFromMorsels();
+  EXPECT_EQ(op.morsel_tuple_skew, 0.0);
+  EXPECT_GT(op.morsel_skew, 0.0);  // wall skew still reported
+
+  // Overlapping (non-monotone) domains are rejected too.
+  for (size_t i = 0; i < op.morsels.size(); ++i) {
+    op.morsels[i].domain_begin = 0;
+    op.morsels[i].domain_end = 1000;
+  }
+  op.ComputeSkewFromMorsels();
+  EXPECT_EQ(op.morsel_tuple_skew, 0.0);
+}
+
+TEST_F(ProfilerTest, OpReportShowsTupleSkewColumn) {
+  ExecOptions o;
+  o.use_morsels = true;
+  o.morsel_rows = 512;
+  o.morsel_workers = 2;
+  Evaluator eval(o);
+  EvalResult er;
+  APQ_CHECK_OK(eval.Execute(plan_, &er));
+  auto tasks = BuildSimTasks(plan_, er.metrics, cm_);
+  Simulator sim(SimConfig::Cores(4, 4));
+  auto outcome = sim.Run(tasks);
+  RunProfile rp = MakeRunProfile(plan_, er.metrics, cm_, outcome.timings,
+                                 outcome.makespan_ns, outcome.utilization);
+  // The dense select's morsels carry domains, so the deterministic signal
+  // exists and is >= 1 at run level.
+  EXPECT_GE(rp.MaxMorselTupleSkew(), 1.0);
+  std::string report = RenderOpReport(rp);
+  EXPECT_NE(report.find("tskew"), std::string::npos);
+  EXPECT_NE(report.find("tuple skew"), std::string::npos);
+}
+
 TEST_F(ProfilerTest, CostModelMonotoneInWork) {
   // More tuples -> more work, for each operator kind we use.
   OpMetrics small, big;
