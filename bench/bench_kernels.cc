@@ -188,7 +188,103 @@ void BM_ExchangePlanThreads(benchmark::State& state) {
 BENCHMARK(BM_ExchangePlanThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime();
 
+// ---- SIMD dispatch tier: per-tier kernel hot loops -------------------------
+// Registered dynamically so only tiers the host cpuid reports show up; the
+// "scalar" rows route through the all-null tier table and thus measure the
+// generic loops (the pre-SIMD baseline — compare BM_SelectLoopKernel).
+// Arg(99)/Arg(499) are the 10%/50% selectivity points of the committed
+// acceptance criterion (>= 1.5x over the scalar-kernel select at both).
+
+void BM_TierSelectDense(benchmark::State& state, simd::SimdLevel tier) {
+  const Column& col = *F().ints;
+  Predicate pred = Predicate::RangeI64(0, state.range(0));
+  const simd::SimdOps* ops = &simd::OpsFor(tier);
+  // The output buffer is reused across iterations (SelectDense appends from
+  // the current size): a fresh 8 MB vector per iteration measures glibc mmap
+  // churn, not the kernel.
+  std::vector<oid> out;
+  for (auto _ : state) {
+    out.clear();
+    SelectDense(col, col.full_range(), pred, nullptr, &out, ops);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * col.size());
+}
+
+void BM_TierSelectCandidates(benchmark::State& state, simd::SimdLevel tier) {
+  const Column& col = *F().floats;
+  // 50%-dense candidate list: every other row, the worst case for the
+  // branchy generic loop and the masked-gather path alike.
+  static const std::vector<oid>& cands = *[] {
+    auto* c = new std::vector<oid>();
+    for (oid i = 0; i < F().floats->size(); i += 2) c->push_back(i);
+    return c;
+  }();
+  Predicate pred = Predicate::RangeF64(0.0, 0.5);
+  const simd::SimdOps* ops = &simd::OpsFor(tier);
+  std::vector<oid> out;
+  for (auto _ : state) {
+    out.clear();
+    uint64_t acc = 0;
+    SelectCandidatesSpan(col, col.full_range(), pred, nullptr, cands.data(),
+                         cands.size(), &out, &acc, ops);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * cands.size());
+}
+
+void BM_TierGather(benchmark::State& state, simd::SimdLevel tier) {
+  const Column& col = *F().floats;
+  static const std::vector<oid>& ids = *[] {
+    Rng rng(7);
+    auto* v = new std::vector<oid>(1 << 20);
+    for (auto& id : *v) id = rng.Uniform(F().floats->size());
+    return v;
+  }();
+  const simd::SimdOps* ops = &simd::OpsFor(tier);
+  std::vector<oid> head;
+  ValueVec vals;
+  for (auto _ : state) {
+    head.clear();
+    vals.i64.clear();
+    vals.f64.clear();
+    APQ_CHECK(GatherRowsSpan(col, ids.data(), ids.size(), col.full_range(),
+                             false, AlignPolicy::kStrict, &head, &vals, ops)
+                  .ok());
+    benchmark::DoNotOptimize(vals.f64.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+
+void RegisterTierBenchmarks() {
+  for (simd::SimdLevel tier :
+       {simd::SimdLevel::kScalar, simd::SimdLevel::kAvx2,
+        simd::SimdLevel::kAvx512}) {
+    if (!simd::LevelSupported(tier)) continue;
+    const std::string suffix = simd::LevelName(tier);
+    benchmark::RegisterBenchmark(
+        ("BM_TierSelectDense/" + suffix).c_str(),
+        [tier](benchmark::State& s) { BM_TierSelectDense(s, tier); })
+        ->Arg(99)
+        ->Arg(499)
+        ->Arg(899);
+    benchmark::RegisterBenchmark(
+        ("BM_TierSelectCandidates/" + suffix).c_str(),
+        [tier](benchmark::State& s) { BM_TierSelectCandidates(s, tier); });
+    benchmark::RegisterBenchmark(
+        ("BM_TierGather/" + suffix).c_str(),
+        [tier](benchmark::State& s) { BM_TierGather(s, tier); });
+  }
+}
+
 }  // namespace
 }  // namespace apq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  apq::RegisterTierBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

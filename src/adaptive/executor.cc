@@ -11,6 +11,14 @@ namespace {
 /// scheduling overhead even on the scaled-down datasets.
 constexpr uint64_t kMinAdaptiveMorselRows = 256;
 
+/// Caps on the per-run proportional shrink. A run with tuple skew s shrinks
+/// an operator's morsels by ~s (more skew -> smaller morsels -> more steal
+/// opportunities), but never by more than 8x per run: one pathological
+/// histogram should not collapse morsels straight to the floor, because the
+/// response must stay reversible when the skew was transient.
+constexpr double kMinShrinkFactor = 2.0;
+constexpr double kMaxShrinkFactor = 8.0;
+
 }  // namespace
 
 StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
@@ -36,6 +44,10 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
   // be recovered. plans[r] executed as run r.
   std::vector<QueryPlan> plan_history;
   std::vector<RunProfile> profile_history;
+  // Last run's morsel-size hints, keyed by node id: the proportional skew
+  // response below shrinks/grows relative to these rather than restarting
+  // from the base size every run.
+  std::unordered_map<int, uint64_t> prev_hints;
 
   while (true) {
     EvalResult er;
@@ -112,22 +124,36 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
     // Runtime skew response: operators that ran imbalanced this run get a
     // shrunken morsel size next run, so the work-stealing scheduler
     // rebalances within the operator while the mutator works on the plan.
-    // Mutated clones have fresh node ids, so hints never outlive the nodes
-    // they profiled.
+    // The shrink is proportional to the measured tuple skew (capped at
+    // kMaxShrinkFactor per run, floored at kMinAdaptiveMorselRows), and
+    // operators whose skew drops back below the threshold grow their morsels
+    // back toward the base size (2x per run) — transient skew must not pin
+    // an operator at tiny morsels forever. Hints persist across runs while
+    // the node survives; mutated clones have fresh node ids, so hints never
+    // outlive the nodes they profiled.
     if (evaluator_->options().adaptive_morsel_rows) {
       std::unordered_map<int, uint64_t> hints;
       const uint64_t base = evaluator_->EffectiveMorselRows();
-      const uint64_t shrunk = std::max(base / 4, kMinAdaptiveMorselRows);
-      if (shrunk < base) {
-        for (const auto& op : profile.ops) {
-          if (op.num_morsels < 2) continue;
-          if (std::max(op.morsel_skew, op.morsel_tuple_skew) >=
-              params_.mutator.skew_threshold) {
-            hints[op.node_id] = shrunk;
-          }
+      for (const auto& op : profile.ops) {
+        if (op.num_morsels < 2) continue;
+        auto prev = prev_hints.find(op.node_id);
+        const uint64_t cur = prev == prev_hints.end() ? base : prev->second;
+        const double skew = std::max(op.morsel_skew, op.morsel_tuple_skew);
+        if (skew >= params_.mutator.skew_threshold) {
+          const double factor =
+              std::min(std::max(skew, kMinShrinkFactor), kMaxShrinkFactor);
+          const uint64_t shrunk = std::max(
+              static_cast<uint64_t>(static_cast<double>(cur) / factor),
+              kMinAdaptiveMorselRows);
+          if (shrunk < base) hints[op.node_id] = shrunk;
+        } else if (cur < base) {
+          // Converged below threshold: grow back toward the base size.
+          const uint64_t grown = std::min(cur * 2, base);
+          if (grown < base) hints[op.node_id] = grown;
         }
       }
       out.runs.back().skew_hint_ops = static_cast<int>(hints.size());
+      prev_hints = hints;
       evaluator_->SetAdaptiveMorselRows(std::move(hints));
     }
 

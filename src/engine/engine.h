@@ -47,6 +47,10 @@ struct EngineConfig {
   /// crossed MutatorConfig::skew_threshold, so stealing rebalances within
   /// the operator between mutations.
   bool adaptive_morsel_rows = true;
+  /// SIMD dispatch tier for the vectorized kernels (see
+  /// ExecOptions::simd_level): kAuto = best level the CPU supports; lower
+  /// levels pin the tier for differential testing. APQ_SIMD overrides.
+  simd::SimdLevel simd_level = simd::SimdLevel::kAuto;
   /// Morsel scheduler to share with other engines/queries. When null and
   /// use_morsels is set, the engine creates its own; pass
   /// MorselScheduler::Shared() (or another engine's morsel_scheduler()) so
@@ -150,6 +154,7 @@ class Engine {
     o.use_parallel_agg = c.use_parallel_agg;
     o.use_parallel_sort = c.use_parallel_sort;
     o.adaptive_morsel_rows = c.adaptive_morsel_rows;
+    o.simd_level = c.simd_level;
     return o;
   }
 

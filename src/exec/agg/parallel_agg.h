@@ -32,6 +32,7 @@
 #include "exec/agg/agg_table.h"
 #include "exec/morsel_source.h"
 #include "exec/op_kind.h"
+#include "exec/simd/simd_ops.h"
 #include "sched/morsel_scheduler.h"
 
 namespace apq {
@@ -40,6 +41,11 @@ namespace apq {
 struct ParallelAggOptions {
   uint64_t morsel_rows = kDefaultMorselRows;
   MorselScheduler* scheduler = nullptr;  ///< required; callers share fleets
+  /// SIMD dispatch table for the dense-range ingest reductions (null ops or
+  /// null entries fold row-at-a-time). Only folds whose result provably
+  /// equals the per-row fold run vectorized, so outputs stay bit-identical
+  /// across tiers.
+  const simd::SimdOps* simd = nullptr;
 };
 
 /// \brief Morsel-parallel group-by over `keys[0..n)`.

@@ -171,7 +171,8 @@ size_t Evaluator::MorselSelectDense(const Column& col, RowRange range,
   EnsureMorselScheduler()->ParallelFor(nm, [&](size_t i, int worker) {
     const Morsel ms = src.morsel(i);
     const double t0 = NowNs();
-    SelectDense(col, RowRange{ms.begin, ms.end}, pred, like_match, &frags[i]);
+    SelectDense(col, RowRange{ms.begin, ms.end}, pred, like_match, &frags[i],
+                simd_ops_);
     mm[i] = MorselMetrics{ms.size(), frags[i].size(), NowNs() - t0, worker,
                           ms.begin, ms.end};
   });
@@ -203,7 +204,7 @@ size_t Evaluator::MorselSelectCandidates(const Column& col, RowRange range,
     const double t0 = NowNs();
     SelectCandidatesSpan(col, range, pred, like_match,
                          candidates.data() + ms.begin, ms.size(), &frags[i],
-                         &accesses[i]);
+                         &accesses[i], simd_ops_);
     // Ascending candidate span; a span crossing this clone's slice boundary
     // reports no domain (see MorselGather's domain note — the tuple counts
     // would be diluted by clip-only candidates).
@@ -272,7 +273,7 @@ Status Evaluator::MorselGather(const Column& col, const std::vector<oid>& ids,
       statuses[i] = GatherRowsAt(col, ids.data() + ms.begin, ms.size(), range,
                                  /*strict_sliced=*/sliced,
                                  result->head.data() + hbase + ms.begin,
-                                 &result->values, vbase + ms.begin);
+                                 &result->values, vbase + ms.begin, simd_ops_);
       const auto [db, de] = domain(ms);
       direct_mm[i] =
           MorselMetrics{ms.size(), ms.size(), NowNs() - t0, worker, db, de};
@@ -302,7 +303,7 @@ Status Evaluator::MorselGather(const Column& col, const std::vector<oid>& ids,
     const double t0 = NowNs();
     frags[i].status =
         GatherRowsSpan(col, ids.data() + ms.begin, ms.size(), range, sliced,
-                       align, &frags[i].head, &frags[i].values);
+                       align, &frags[i].head, &frags[i].values, simd_ops_);
     const auto [db, de] = domain(ms);
     mm[i] = MorselMetrics{ms.size(), frags[i].values.size(), NowNs() - t0,
                           worker, db, de};
@@ -353,6 +354,7 @@ size_t Evaluator::MorselGroupedAgg(const int64_t* gids, uint64_t n,
   ParallelAggOptions o;
   o.morsel_rows = EffectiveMorselRows();
   o.scheduler = EnsureMorselScheduler().get();
+  o.simd = simd_ops_;
   // No per-morsel metrics here: a morsel's output is a partial over an
   // unknowable share of the ngroups output rows, so per-morsel tuple counts
   // could not sum to the operator totals the profiler relies on.
@@ -689,9 +691,10 @@ Status Evaluator::ExecSelect(const PlanNode& node, const ExecContext& ctx,
     if (nm == 0) {
       if (in) {
         SelectCandidates(col, range, node.pred, &like_match, in->rowids,
-                         &result->rowids, &m->random_accesses);
+                         &result->rowids, &m->random_accesses, simd_ops_);
       } else {
-        SelectDense(col, range, node.pred, &like_match, &result->rowids);
+        SelectDense(col, range, node.pred, &like_match, &result->rowids,
+                    simd_ops_);
       }
     }
   } else {
@@ -768,7 +771,7 @@ Status Evaluator::ExecFetchJoin(const PlanNode& node, const ExecContext& ctx,
     }
     if (!morsels_ran) {
       APQ_RETURN_NOT_OK(GatherRows(col, *ids, range, sliced, node.align,
-                                   &result->head, &result->values));
+                                   &result->head, &result->values, simd_ops_));
     }
   } else {
     result->head.reserve(ids->size());
@@ -1052,15 +1055,61 @@ Status Evaluator::ExecAggregate(const PlanNode& node, const ExecContext& ctx,
               : node.agg_fn == AggFn::kMax ? -1e300
                                            : 0.0;
   if (first->kind == Intermediate::Kind::kValues) {
-    for (uint64_t i = 0; i < n; ++i) {
-      double v = first->values.AsDouble(i);
+    // SIMD ingest reductions, only where the result is provably the scalar
+    // fold's: COUNT is (double)n exactly while n <= 2^53 (the repeated +1.0
+    // fold is exact there); MIN/MAX are lattice folds (and the int64->double
+    // cast is monotonic, so min/max commute with it); int64 SUM/AVG go
+    // through the guarded exact path (sum_i64_exact declines when the
+    // no-rounding proof fails). float64 SUM/AVG always fold sequentially —
+    // reassociation would change last bits.
+    bool done = false;
+    if (options_.use_kernels && n > 0) {
+      const ValueVec& vv = first->values;
       switch (node.agg_fn) {
+        case AggFn::kCount:
+          if (n <= (1ull << 53)) {
+            acc = static_cast<double>(n);
+            done = true;
+          }
+          break;
+        case AggFn::kMin:
+        case AggFn::kMax:
+          if (!vv.is_f64() && simd_ops_->minmax_i64 != nullptr) {
+            int64_t mn, mx;
+            simd_ops_->minmax_i64(vv.i64.data(), n, &mn, &mx);
+            acc = node.agg_fn == AggFn::kMin
+                      ? std::min(acc, static_cast<double>(mn))
+                      : std::max(acc, static_cast<double>(mx));
+            done = true;
+          } else if (vv.is_f64() && simd_ops_->minmax_f64 != nullptr) {
+            double mn, mx;
+            simd_ops_->minmax_f64(vv.f64.data(), n, &mn, &mx);
+            acc = node.agg_fn == AggFn::kMin ? std::min(acc, mn)
+                                             : std::max(acc, mx);
+            done = true;
+          }
+          break;
         case AggFn::kSum:
-        case AggFn::kAvg: acc += v; break;
-        case AggFn::kCount: acc += 1.0; break;
-        case AggFn::kMin: acc = std::min(acc, v); break;
-        case AggFn::kMax: acc = std::max(acc, v); break;
-        case AggFn::kNone: break;
+        case AggFn::kAvg:
+          if (!vv.is_f64() && simd_ops_->sum_i64_exact != nullptr) {
+            done = simd_ops_->sum_i64_exact(vv.i64.data(), n, &acc);
+          }
+          break;
+        case AggFn::kNone:
+          break;
+      }
+    }
+    if (!done) {
+      for (uint64_t i = 0; i < n; ++i) {
+        double v = first->values.AsDouble(i);
+        switch (node.agg_fn) {
+          case AggFn::kSum:
+          case AggFn::kAvg: acc += v; break;
+          case AggFn::kCount: acc += 1.0; break;
+          case AggFn::kMin: acc = std::min(acc, v); break;
+          case AggFn::kMax: acc = std::max(acc, v); break;
+          case AggFn::kNone: break;
+        }
       }
     }
   } else {

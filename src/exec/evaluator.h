@@ -24,6 +24,7 @@
 #include "exec/hash_index.h"
 #include "exec/intermediate.h"
 #include "exec/morsel_source.h"
+#include "exec/simd/simd_ops.h"
 #include "exec/sort/sort_runs.h"
 #include "plan/plan.h"
 #include "sched/morsel_scheduler.h"
@@ -103,6 +104,13 @@ struct ExecOptions {
   /// candidates. Only active when morsels are enabled (use_morsels /
   /// APQ_FORCE_MORSELS, which forces this tier on too).
   bool use_parallel_sort = true;
+  /// SIMD dispatch tier for the vectorized kernels: kAuto resolves to the
+  /// best level the CPU supports (cpuid probe), lower levels pin the tier
+  /// (for differential testing). The APQ_SIMD environment variable
+  /// (scalar|avx2|avx512, validated like APQ_FORCE_MORSELS) overrides this.
+  /// Only meaningful with use_kernels; outputs are bit-identical at every
+  /// level. Levels above what the CPU/build supports clamp down.
+  simd::SimdLevel simd_level = simd::SimdLevel::kAuto;
   /// Honor per-node morsel-size overrides injected between runs via
   /// SetAdaptiveMorselRows: the adaptive loop shrinks the morsel size of
   /// operators whose previous run showed high intra-operator skew, so
@@ -135,6 +143,10 @@ class Evaluator {
       morsel_sched_owned_ = false;
     }
     options_ = options;
+    // Resolved once per options change, not per kernel call: env override >
+    // requested level > cpuid probe. Scalar tier = all-null table = the
+    // generic loops.
+    simd_ops_ = &simd::Resolve(options_.simd_level);
   }
   const ExecOptions& options() const { return options_; }
   void set_use_kernels(bool on) { options_.use_kernels = on; }
@@ -190,6 +202,10 @@ class Evaluator {
   /// reason about the forced size with the evaluator's own parsing instead
   /// of re-implementing it.
   static uint64_t ForcedEnvMorselRows();
+
+  /// The SIMD dispatch table this evaluator's kernels run with (after the
+  /// APQ_SIMD override and cpuid clamping). Never null once options are set.
+  const simd::SimdOps* simd_ops() const { return simd_ops_; }
 
   /// Rows per morsel for one specific plan node: the adaptive override when
   /// one was injected (and options().adaptive_morsel_rows is on), otherwise
@@ -304,6 +320,9 @@ class Evaluator {
   std::shared_ptr<HashIndex> GetOrBuildHash(const Column& column);
 
   ExecOptions options_;
+  /// Active SIMD dispatch table (see set_options). The default matches the
+  /// default ExecOptions: auto-resolved.
+  const simd::SimdOps* simd_ops_ = &simd::Resolve(simd::SimdLevel::kAuto);
   std::unique_ptr<ThreadPool> pool_;  // lazily created when num_threads > 1
   std::shared_ptr<MorselScheduler> morsel_sched_;  // injected or lazy
   bool morsel_sched_owned_ = false;   // true iff lazily created (not injected)

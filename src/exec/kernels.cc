@@ -1,5 +1,6 @@
 #include "exec/kernels.h"
 
+#include <algorithm>
 #include <string>
 
 namespace apq {
@@ -123,6 +124,152 @@ void CandidateLoop(const T* data, const oid* ids, size_t n, RowRange range,
   *random_accesses += accesses;
 }
 
+// ---- SIMD select drivers ---------------------------------------------------
+// Same blockwise output growth as DenseLoop/CandidateLoop, but each block is
+// filled by a dispatch-table kernel that compress-stores passing row ids.
+// Those kernels may store one full vector past their final count, so every
+// block is sized with kSelectStoreSlack; the final resize trims to the real
+// count. `run(b, e, dst)` / `run(ids, n, dst)` returns the block's count.
+
+template <typename F>
+void DenseSimdLoop(oid begin, oid end, std::vector<oid>* out, F run) {
+  size_t k = out->size();
+  for (oid b = begin; b < end; b += kGrowBlock) {
+    const oid e = b + kGrowBlock < end ? static_cast<oid>(b + kGrowBlock) : end;
+    out->resize(k + (e - b) + simd::kSelectStoreSlack);
+    k += run(b, e, out->data() + k);
+  }
+  out->resize(k);
+}
+
+template <typename F>
+void CandSimdLoop(const oid* ids, size_t n, std::vector<oid>* out, F run) {
+  size_t k = out->size();
+  for (size_t b = 0; b < n; b += kGrowBlock) {
+    const size_t e = b + kGrowBlock < n ? b + kGrowBlock : n;
+    out->resize(k + (e - b) + simd::kSelectStoreSlack);
+    k += run(ids + b, e - b, out->data() + k);
+  }
+  out->resize(k);
+}
+
+// Routes a dense select to the dispatch-table kernel for (pred kind x storage
+// type) when the active tier has one. Returns false to run the generic loop.
+bool TrySimdSelectDense(const Column& col, RowRange range,
+                        const Predicate& pred,
+                        const std::vector<uint8_t>* like_match,
+                        std::vector<oid>* out, const simd::SimdOps* ops) {
+  if (ops == nullptr) return false;
+  if (col.type() == DataType::kFloat64) {
+    const double* data = col.f64().data();
+    switch (pred.kind) {
+      case Predicate::Kind::kRangeF64:
+        if (ops->select_range_f64 == nullptr) return false;
+        DenseSimdLoop(range.begin, range.end, out, [&](oid b, oid e, oid* dst) {
+          return ops->select_range_f64(data, b, e, pred.flo, pred.fhi, dst);
+        });
+        return true;
+      case Predicate::Kind::kRangeI64:
+        if (ops->select_range_i64_over_f64 == nullptr) return false;
+        DenseSimdLoop(range.begin, range.end, out, [&](oid b, oid e, oid* dst) {
+          return ops->select_range_i64_over_f64(data, b, e, pred.lo, pred.hi,
+                                                dst);
+        });
+        return true;
+      case Predicate::Kind::kEqI64:
+        if (ops->select_eq_i64_over_f64 == nullptr) return false;
+        DenseSimdLoop(range.begin, range.end, out, [&](oid b, oid e, oid* dst) {
+          return ops->select_eq_i64_over_f64(data, b, e, pred.lo, dst);
+        });
+        return true;
+      default:
+        return false;
+    }
+  }
+  const int64_t* data = col.i64().data();
+  switch (pred.kind) {
+    case Predicate::Kind::kRangeI64:
+      if (ops->select_range_i64 == nullptr) return false;
+      DenseSimdLoop(range.begin, range.end, out, [&](oid b, oid e, oid* dst) {
+        return ops->select_range_i64(data, b, e, pred.lo, pred.hi, dst);
+      });
+      return true;
+    case Predicate::Kind::kEqI64:
+      if (ops->select_eq_i64 == nullptr) return false;
+      DenseSimdLoop(range.begin, range.end, out, [&](oid b, oid e, oid* dst) {
+        return ops->select_eq_i64(data, b, e, pred.lo, dst);
+      });
+      return true;
+    case Predicate::Kind::kRangeF64:
+      if (ops->select_range_f64_over_i64 == nullptr) return false;
+      DenseSimdLoop(range.begin, range.end, out, [&](oid b, oid e, oid* dst) {
+        return ops->select_range_f64_over_i64(data, b, e, pred.flo, pred.fhi,
+                                              dst);
+      });
+      return true;
+    case Predicate::Kind::kLike:
+      if (ops->select_like == nullptr) return false;
+      DenseSimdLoop(range.begin, range.end, out, [&](oid b, oid e, oid* dst) {
+        return ops->select_like(data, b, e, like_match->data(), dst);
+      });
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Candidate-list counterpart. The caller has already handled the empty-slice
+// early return; the cross-typed predicates have no candidate SIMD form and
+// fall back to the generic loop.
+bool TrySimdSelectCandidates(const Column& col, RowRange range,
+                             const Predicate& pred,
+                             const std::vector<uint8_t>* like_match,
+                             const oid* ids, size_t n, std::vector<oid>* out,
+                             uint64_t* random_accesses,
+                             const simd::SimdOps* ops) {
+  if (ops == nullptr) return false;
+  if (col.type() == DataType::kFloat64) {
+    const double* data = col.f64().data();
+    if (pred.kind != Predicate::Kind::kRangeF64 ||
+        ops->select_cand_range_f64 == nullptr) {
+      return false;
+    }
+    CandSimdLoop(ids, n, out, [&](const oid* p, size_t m, oid* dst) {
+      return ops->select_cand_range_f64(data, p, m, range.begin, range.end,
+                                        pred.flo, pred.fhi, dst,
+                                        random_accesses);
+    });
+    return true;
+  }
+  const int64_t* data = col.i64().data();
+  switch (pred.kind) {
+    case Predicate::Kind::kRangeI64:
+      if (ops->select_cand_range_i64 == nullptr) return false;
+      CandSimdLoop(ids, n, out, [&](const oid* p, size_t m, oid* dst) {
+        return ops->select_cand_range_i64(data, p, m, range.begin, range.end,
+                                          pred.lo, pred.hi, dst,
+                                          random_accesses);
+      });
+      return true;
+    case Predicate::Kind::kEqI64:
+      if (ops->select_cand_eq_i64 == nullptr) return false;
+      CandSimdLoop(ids, n, out, [&](const oid* p, size_t m, oid* dst) {
+        return ops->select_cand_eq_i64(data, p, m, range.begin, range.end,
+                                       pred.lo, dst, random_accesses);
+      });
+      return true;
+    case Predicate::Kind::kLike:
+      if (ops->select_cand_like == nullptr) return false;
+      CandSimdLoop(ids, n, out, [&](const oid* p, size_t m, oid* dst) {
+        return ops->select_cand_like(data, p, m, range.begin, range.end,
+                                     like_match->data(), dst, random_accesses);
+      });
+      return true;
+    default:
+      return false;
+  }
+}
+
 // Dispatches a select over int64-backed storage (ints, dates, dict codes).
 template <typename Sink>
 void DispatchI64(const Predicate& pred, const std::vector<uint8_t>* like_match,
@@ -155,19 +302,33 @@ void DispatchF64(const Predicate& pred, Sink&& sink) {
 
 // ---- gather loops ----------------------------------------------------------
 
+inline void GatherVals(const int64_t* src, const oid* ids, size_t n,
+                       int64_t* dst, const simd::SimdOps* ops) {
+  if (ops != nullptr && ops->gather_i64 != nullptr) {
+    ops->gather_i64(src, ids, n, dst);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) dst[i] = src[ids[i]];
+}
+
+inline void GatherVals(const double* src, const oid* ids, size_t n,
+                       double* dst, const simd::SimdOps* ops) {
+  if (ops != nullptr && ops->gather_f64 != nullptr) {
+    ops->gather_f64(src, ids, n, dst);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) dst[i] = src[ids[i]];
+}
+
 template <typename T>
 void GatherAll(const T* src, const oid* ids, size_t n, std::vector<oid>* head,
-               std::vector<T>* vals) {
+               std::vector<T>* vals, const simd::SimdOps* ops) {
   const size_t hbase = head->size();
   const size_t vbase = vals->size();
   head->resize(hbase + n);
   vals->resize(vbase + n);
-  oid* hdst = head->data() + hbase;
-  T* vdst = vals->data() + vbase;
-  for (size_t i = 0; i < n; ++i) {
-    hdst[i] = ids[i];
-    vdst[i] = src[ids[i]];
-  }
+  std::copy(ids, ids + n, head->data() + hbase);
+  GatherVals(src, ids, n, vals->data() + vbase, ops);
 }
 
 template <typename T>
@@ -197,11 +358,10 @@ void GatherClipped(const T* src, const oid* ids, size_t n, RowRange range,
 }
 
 template <typename T>
-void GatherAt(const T* src, const oid* ids, size_t n, oid* hdst, T* vdst) {
-  for (size_t i = 0; i < n; ++i) {
-    hdst[i] = ids[i];
-    vdst[i] = src[ids[i]];
-  }
+void GatherAt(const T* src, const oid* ids, size_t n, oid* hdst, T* vdst,
+              const simd::SimdOps* ops) {
+  std::copy(ids, ids + n, hdst);
+  GatherVals(src, ids, n, vdst, ops);
 }
 
 Status MisalignedBeyond(const Column& col, oid id) {
@@ -216,14 +376,24 @@ Status MisalignedOutside(const Column& col, oid id, RowRange range) {
                             col.name() + "'");
 }
 
-// Strict-mode validation in input order, checking beyond-column before
-// out-of-slice per id — the same id fails with the same error the scalar
-// interpreter reports.
+// Strict-mode validation: a branchless violation count first (vectorizes to
+// a sum-reduction, like BoundsCheckIds' max pre-pass); only on failure do we
+// rescan in input order, checking beyond-column before out-of-slice per id —
+// the same id fails with the same error the scalar interpreter reports.
 Status StrictCheckIds(const Column& col, const oid* ids, size_t n,
                       RowRange range) {
+  const oid csize = col.size();
+  size_t bad = 0;
   for (size_t i = 0; i < n; ++i) {
-    if (ids[i] >= col.size()) return MisalignedBeyond(col, ids[i]);
-    if (!range.Contains(ids[i])) return MisalignedOutside(col, ids[i], range);
+    bad += static_cast<size_t>(ids[i] >= csize) |
+           static_cast<size_t>(ids[i] < range.begin) |
+           static_cast<size_t>(ids[i] >= range.end);
+  }
+  if (bad != 0) {
+    for (size_t i = 0; i < n; ++i) {
+      if (ids[i] >= csize) return MisalignedBeyond(col, ids[i]);
+      if (!range.Contains(ids[i])) return MisalignedOutside(col, ids[i], range);
+    }
   }
   return Status::OK();
 }
@@ -248,7 +418,9 @@ Status BoundsCheckIds(const Column& col, const oid* ids, size_t n) {
 
 std::vector<uint8_t> BuildLikeMatch(const Column& col, const Predicate& p) {
   const auto& dict = col.dictionary();
-  std::vector<uint8_t> match(dict.size(), 0);
+  // kLikeMatchPad zero tail bytes: the SIMD probe gathers 32-bit words at
+  // byte offsets, reading up to 3 bytes past the addressed code.
+  std::vector<uint8_t> match(dict.size() + simd::kLikeMatchPad, 0);
   for (size_t i = 0; i < dict.size(); ++i) {
     bool hit = dict[i].find(p.pattern) != std::string::npos;
     match[i] = (hit != p.anti) ? 1 : 0;
@@ -257,8 +429,9 @@ std::vector<uint8_t> BuildLikeMatch(const Column& col, const Predicate& p) {
 }
 
 void SelectDense(const Column& col, RowRange range, const Predicate& pred,
-                 const std::vector<uint8_t>* like_match,
-                 std::vector<oid>* out) {
+                 const std::vector<uint8_t>* like_match, std::vector<oid>* out,
+                 const simd::SimdOps* ops) {
+  if (TrySimdSelectDense(col, range, pred, like_match, out, ops)) return;
   if (col.type() == DataType::kFloat64) {
     const double* data = col.f64().data();
     DispatchF64(pred, [&](auto p) { DenseLoop(data, range.begin, range.end, p, out); });
@@ -272,16 +445,21 @@ void SelectDense(const Column& col, RowRange range, const Predicate& pred,
 void SelectCandidates(const Column& col, RowRange range, const Predicate& pred,
                       const std::vector<uint8_t>* like_match,
                       const std::vector<oid>& candidates, std::vector<oid>* out,
-                      uint64_t* random_accesses) {
+                      uint64_t* random_accesses, const simd::SimdOps* ops) {
   SelectCandidatesSpan(col, range, pred, like_match, candidates.data(),
-                       candidates.size(), out, random_accesses);
+                       candidates.size(), out, random_accesses, ops);
 }
 
 void SelectCandidatesSpan(const Column& col, RowRange range,
                           const Predicate& pred,
                           const std::vector<uint8_t>* like_match,
                           const oid* ids, size_t n, std::vector<oid>* out,
-                          uint64_t* random_accesses) {
+                          uint64_t* random_accesses, const simd::SimdOps* ops) {
+  if (range.size() == 0) return;  // empty slice: every candidate clips away
+  if (TrySimdSelectCandidates(col, range, pred, like_match, ids, n, out,
+                              random_accesses, ops)) {
+    return;
+  }
   if (col.type() == DataType::kFloat64) {
     const double* data = col.f64().data();
     DispatchF64(pred, [&](auto p) {
@@ -297,14 +475,16 @@ void SelectCandidatesSpan(const Column& col, RowRange range,
 
 Status GatherRows(const Column& col, const std::vector<oid>& ids,
                   RowRange range, bool sliced, AlignPolicy align,
-                  std::vector<oid>* head, ValueVec* values) {
+                  std::vector<oid>* head, ValueVec* values,
+                  const simd::SimdOps* ops) {
   return GatherRowsSpan(col, ids.data(), ids.size(), range, sliced, align,
-                        head, values);
+                        head, values, ops);
 }
 
 Status GatherRowsSpan(const Column& col, const oid* ids, size_t n,
                       RowRange range, bool sliced, AlignPolicy align,
-                      std::vector<oid>* head, ValueVec* values) {
+                      std::vector<oid>* head, ValueVec* values,
+                      const simd::SimdOps* ops) {
   if (sliced && align == AlignPolicy::kStrict) {
     APQ_RETURN_NOT_OK(StrictCheckIds(col, ids, n, range));
     sliced = false;  // all ids verified in-slice: take the unclipped gather
@@ -313,26 +493,29 @@ Status GatherRowsSpan(const Column& col, const oid* ids, size_t n,
   }
   if (col.type() == DataType::kFloat64) {
     if (sliced) GatherClipped(col.f64().data(), ids, n, range, head, &values->f64);
-    else GatherAll(col.f64().data(), ids, n, head, &values->f64);
+    else GatherAll(col.f64().data(), ids, n, head, &values->f64, ops);
   } else {
     if (sliced) GatherClipped(col.i64().data(), ids, n, range, head, &values->i64);
-    else GatherAll(col.i64().data(), ids, n, head, &values->i64);
+    else GatherAll(col.i64().data(), ids, n, head, &values->i64, ops);
   }
   return Status::OK();
 }
 
 Status GatherRowsAt(const Column& col, const oid* ids, size_t n,
                     RowRange range, bool strict_sliced, oid* head_dst,
-                    ValueVec* values, uint64_t offset) {
+                    ValueVec* values, uint64_t offset,
+                    const simd::SimdOps* ops) {
   if (strict_sliced) {
     APQ_RETURN_NOT_OK(StrictCheckIds(col, ids, n, range));
   } else {
     APQ_RETURN_NOT_OK(BoundsCheckIds(col, ids, n));
   }
   if (col.type() == DataType::kFloat64) {
-    GatherAt(col.f64().data(), ids, n, head_dst, values->f64.data() + offset);
+    GatherAt(col.f64().data(), ids, n, head_dst, values->f64.data() + offset,
+             ops);
   } else {
-    GatherAt(col.i64().data(), ids, n, head_dst, values->i64.data() + offset);
+    GatherAt(col.i64().data(), ids, n, head_dst, values->i64.data() + offset,
+             ops);
   }
   return Status::OK();
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "exec/intermediate.h"
+#include "exec/simd/simd_ops.h"
 #include "exec/op_kind.h"
 #include "exec/predicate.h"
 #include "storage/column.h"
@@ -28,14 +29,20 @@
 namespace apq {
 
 /// Precomputes which dictionary codes of `col` match a LIKE predicate
-/// (substring, optionally negated). One byte per code; indexed by code.
+/// (substring, optionally negated). One byte per code; indexed by code. The
+/// table carries simd::kLikeMatchPad zero bytes of tail padding so the SIMD
+/// gathered probe never reads outside it.
 std::vector<uint8_t> BuildLikeMatch(const Column& col, const Predicate& p);
 
 /// Dense select: appends the row ids in [range.begin, range.end) whose value
 /// in `col` satisfies `pred` to `out`, in row order. For kLike predicates
 /// `like_match` must be the BuildLikeMatch table; it is ignored otherwise.
+/// `ops` selects the SIMD dispatch tier (null or an absent entry runs the
+/// generic loop) — same for every kernel below; outputs are bit-identical
+/// across tiers.
 void SelectDense(const Column& col, RowRange range, const Predicate& pred,
-                 const std::vector<uint8_t>* like_match, std::vector<oid>* out);
+                 const std::vector<uint8_t>* like_match, std::vector<oid>* out,
+                 const simd::SimdOps* ops = nullptr);
 
 /// Candidate-list select: like SelectDense but scanning `candidates` instead
 /// of the dense range. Candidates outside `range` are clipped (paper Fig 9
@@ -44,7 +51,8 @@ void SelectDense(const Column& col, RowRange range, const Predicate& pred,
 void SelectCandidates(const Column& col, RowRange range, const Predicate& pred,
                       const std::vector<uint8_t>* like_match,
                       const std::vector<oid>& candidates, std::vector<oid>* out,
-                      uint64_t* random_accesses);
+                      uint64_t* random_accesses,
+                      const simd::SimdOps* ops = nullptr);
 
 /// Span form of SelectCandidates, scanning `candidates[0..n)`. The morsel
 /// executor runs one span per morsel; concatenating the outputs in span order
@@ -53,7 +61,8 @@ void SelectCandidatesSpan(const Column& col, RowRange range,
                           const Predicate& pred,
                           const std::vector<uint8_t>* like_match,
                           const oid* candidates, size_t n,
-                          std::vector<oid>* out, uint64_t* random_accesses);
+                          std::vector<oid>* out, uint64_t* random_accesses,
+                          const simd::SimdOps* ops = nullptr);
 
 /// Fetch-join gather: materializes col[id] for every id in `ids` into
 /// `values` (and the surviving ids into `head`), in input order.
@@ -63,14 +72,16 @@ void SelectCandidatesSpan(const Column& col, RowRange range,
 ///    AlignPolicy::kStrict and are clipped under AlignPolicy::kAdjust.
 Status GatherRows(const Column& col, const std::vector<oid>& ids,
                   RowRange range, bool sliced, AlignPolicy align,
-                  std::vector<oid>* head, ValueVec* values);
+                  std::vector<oid>* head, ValueVec* values,
+                  const simd::SimdOps* ops = nullptr);
 
 /// Span form of GatherRows over `ids[0..n)`, for per-morsel gathers.
 /// Error selection is per-span first-offender, so taking the error of the
 /// lowest-indexed failing span reproduces the whole-list error exactly.
 Status GatherRowsSpan(const Column& col, const oid* ids, size_t n,
                       RowRange range, bool sliced, AlignPolicy align,
-                      std::vector<oid>* head, ValueVec* values);
+                      std::vector<oid>* head, ValueVec* values,
+                      const simd::SimdOps* ops = nullptr);
 
 /// Positional span gather for morsel execution when every id yields exactly
 /// one output value (any case except slice + kAdjust, whose clipping makes
@@ -81,7 +92,8 @@ Status GatherRowsSpan(const Column& col, const oid* ids, size_t n,
 /// one destination may be written concurrently.
 Status GatherRowsAt(const Column& col, const oid* ids, size_t n,
                     RowRange range, bool strict_sliced, oid* head_dst,
-                    ValueVec* values, uint64_t offset);
+                    ValueVec* values, uint64_t offset,
+                    const simd::SimdOps* ops = nullptr);
 
 }  // namespace apq
 

@@ -1,0 +1,420 @@
+// AVX2 tier: 4-lane (64-bit element) kernels.
+//
+// This file is compiled with -mavx2 (per-file flag, see CMakeLists); nothing
+// here executes unless the runtime probe (or APQ_SIMD) selected the tier, so
+// the binary stays portable.
+//
+// Selection-vector emission is movemask + LUT permute: compare 4 values,
+// movemask the 4 lane predicates, permute the row-id vector by a 16-entry
+// lookup table that packs the passing lanes to the front, store, and advance
+// the write cursor by popcount. The store always writes a full vector, which
+// is why select destinations carry kSelectStoreSlack. Candidate selects and
+// fetch-join gathers use vpgatherqq; the LIKE probe gathers 32-bit words
+// from the (padded) dictionary byte table.
+//
+// Every loop's tail runs the exact scalar fold of the generic kernels, so
+// outputs are bit-identical to exec/kernels.cc's loops at any length or
+// alignment.
+#include "exec/simd/simd_ops.h"
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace apq {
+namespace simd {
+namespace {
+
+// Packs the set-mask 64-bit lanes of a 256-bit vector to the front, as
+// vpermd (32-bit lane) index pairs: entry m lists pairs (2j, 2j+1) for each
+// set bit j of m in ascending order, zero-padded.
+alignas(32) constexpr uint32_t kCompress4[16][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0},  // 0000
+    {0, 1, 0, 0, 0, 0, 0, 0},  // 0001
+    {2, 3, 0, 0, 0, 0, 0, 0},  // 0010
+    {0, 1, 2, 3, 0, 0, 0, 0},  // 0011
+    {4, 5, 0, 0, 0, 0, 0, 0},  // 0100
+    {0, 1, 4, 5, 0, 0, 0, 0},  // 0101
+    {2, 3, 4, 5, 0, 0, 0, 0},  // 0110
+    {0, 1, 2, 3, 4, 5, 0, 0},  // 0111
+    {6, 7, 0, 0, 0, 0, 0, 0},  // 1000
+    {0, 1, 6, 7, 0, 0, 0, 0},  // 1001
+    {2, 3, 6, 7, 0, 0, 0, 0},  // 1010
+    {0, 1, 2, 3, 6, 7, 0, 0},  // 1011
+    {4, 5, 6, 7, 0, 0, 0, 0},  // 1100
+    {0, 1, 4, 5, 6, 7, 0, 0},  // 1101
+    {2, 3, 4, 5, 6, 7, 0, 0},  // 1110
+    {0, 1, 2, 3, 4, 5, 6, 7},  // 1111
+};
+
+inline size_t CompressStore4(__m256i rows, int mask, oid* dst, size_t k) {
+  const __m256i perm =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(kCompress4[mask]));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + k),
+                      _mm256_permutevar8x32_epi32(rows, perm));
+  return k + static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(mask)));
+}
+
+inline __m256i LoadIds(const oid* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+// Signed-compare bias for unsigned 64-bit compares (AVX2 has only cmpgt_epi64).
+inline __m256i Bias(__m256i v) {
+  return _mm256_xor_si256(v, _mm256_set1_epi64x(INT64_MIN));
+}
+
+// ---- dense selects ----------------------------------------------------------
+
+// MaskFn: const T* -> 4-bit pass mask for 4 consecutive values.
+// PredFn: T -> size_t 0/1 (the generic functor, for the tail).
+template <typename T, typename MaskFn, typename PredFn>
+inline size_t DenseSelect(const T* data, oid begin, oid end, oid* dst,
+                          MaskFn mask4, PredFn pred) {
+  size_t k = 0;
+  oid i = begin;
+  __m256i rows = _mm256_setr_epi64x(
+      static_cast<long long>(begin), static_cast<long long>(begin) + 1,
+      static_cast<long long>(begin) + 2, static_cast<long long>(begin) + 3);
+  const __m256i four = _mm256_set1_epi64x(4);
+  // 4x unrolled: all four masks (and their popcounts) issue before the first
+  // compress-store, so the serial dependency through the write cursor k is
+  // four 1-cycle adds per 16 rows instead of movemask+popcount latency per 4.
+  for (; i + 16 <= end; i += 16) {
+    const int m0 = mask4(data + i);
+    const int m1 = mask4(data + i + 4);
+    const int m2 = mask4(data + i + 8);
+    const int m3 = mask4(data + i + 12);
+    k = CompressStore4(rows, m0, dst, k);
+    rows = _mm256_add_epi64(rows, four);
+    k = CompressStore4(rows, m1, dst, k);
+    rows = _mm256_add_epi64(rows, four);
+    k = CompressStore4(rows, m2, dst, k);
+    rows = _mm256_add_epi64(rows, four);
+    k = CompressStore4(rows, m3, dst, k);
+    rows = _mm256_add_epi64(rows, four);
+  }
+  for (; i + 4 <= end; i += 4) {
+    k = CompressStore4(rows, mask4(data + i), dst, k);
+    rows = _mm256_add_epi64(rows, four);
+  }
+  for (; i < end; ++i) {
+    dst[k] = i;
+    k += pred(data[i]);
+  }
+  return k;
+}
+
+size_t SelectRangeI64(const int64_t* data, oid begin, oid end, int64_t lo,
+                      int64_t hi, oid* dst) {
+  const __m256i lov = _mm256_set1_epi64x(lo);
+  const __m256i hiv = _mm256_set1_epi64x(hi);
+  return DenseSelect(
+      data, begin, end, dst,
+      [&](const int64_t* p) {
+        const __m256i v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+        const __m256i fail = _mm256_or_si256(_mm256_cmpgt_epi64(lov, v),
+                                             _mm256_cmpgt_epi64(v, hiv));
+        return ~_mm256_movemask_pd(_mm256_castsi256_pd(fail)) & 0xF;
+      },
+      [&](int64_t v) { return static_cast<size_t>((v >= lo) & (v <= hi)); });
+}
+
+size_t SelectEqI64(const int64_t* data, oid begin, oid end, int64_t eq,
+                   oid* dst) {
+  const __m256i ev = _mm256_set1_epi64x(eq);
+  return DenseSelect(
+      data, begin, end, dst,
+      [&](const int64_t* p) {
+        const __m256i v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+        return _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(v, ev)));
+      },
+      [&](int64_t v) { return static_cast<size_t>(v == eq); });
+}
+
+size_t SelectRangeF64(const double* data, oid begin, oid end, double lo,
+                      double hi, oid* dst) {
+  const __m256d lov = _mm256_set1_pd(lo);
+  const __m256d hiv = _mm256_set1_pd(hi);
+  return DenseSelect(
+      data, begin, end, dst,
+      [&](const double* p) {
+        const __m256d v = _mm256_loadu_pd(p);
+        // _CMP_GE_OQ / _CMP_LE_OQ are false on NaN, like the scalar >= / <=.
+        return _mm256_movemask_pd(
+            _mm256_and_pd(_mm256_cmp_pd(v, lov, _CMP_GE_OQ),
+                          _mm256_cmp_pd(v, hiv, _CMP_LE_OQ)));
+      },
+      [&](double v) { return static_cast<size_t>((v >= lo) & (v <= hi)); });
+}
+
+size_t SelectLike(const int64_t* codes, oid begin, oid end,
+                  const uint8_t* match, oid* dst) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i ff = _mm_set1_epi32(0xFF);
+  return DenseSelect(
+      codes, begin, end, dst,
+      [&](const int64_t* p) {
+        const __m256i c =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+        // 32-bit gather at byte offsets: reads match[code .. code+3], within
+        // the table thanks to BuildLikeMatch's kLikeMatchPad tail bytes.
+        const __m128i w = _mm256_i64gather_epi32(
+            reinterpret_cast<const int*>(match), c, 1);
+        const __m128i hit =
+            _mm_cmpeq_epi32(_mm_and_si128(w, ff), zero);  // 0 byte = miss
+        return ~_mm_movemask_ps(_mm_castsi128_ps(hit)) & 0xF;
+      },
+      [&](int64_t code) { return static_cast<size_t>(match[code]); });
+}
+
+// ---- candidate-list selects -------------------------------------------------
+
+// GatherMaskFn: (__m256i ids, __m256i in_mask) -> 4-bit predicate mask over
+// the gathered values (masked lanes gather 0 and are ANDed away by in_mask).
+// PredFn: T -> size_t 0/1 for the scalar tail.
+template <typename T, typename GatherMaskFn, typename PredFn>
+inline size_t CandSelect(const T* data, const oid* ids, size_t n, oid rbegin,
+                         oid rend, oid* dst, uint64_t* accesses,
+                         GatherMaskFn gmask, PredFn pred) {
+  size_t k = 0;
+  uint64_t acc = 0;
+  const __m256i rb = Bias(_mm256_set1_epi64x(static_cast<long long>(rbegin)));
+  const __m256i re = Bias(_mm256_set1_epi64x(static_cast<long long>(rend)));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i idv = LoadIds(ids + i);
+    const __m256i idb = Bias(idv);
+    // in = id >= rbegin && id < rend, unsigned (RowRange::Contains).
+    const __m256i in = _mm256_andnot_si256(_mm256_cmpgt_epi64(rb, idb),
+                                           _mm256_cmpgt_epi64(re, idb));
+    const int inm = _mm256_movemask_pd(_mm256_castsi256_pd(in));
+    acc += static_cast<uint64_t>(__builtin_popcount(static_cast<unsigned>(inm)));
+    const int pass = gmask(idv, in) & inm;
+    k = CompressStore4(idv, pass, dst, k);
+  }
+  for (; i < n; ++i) {
+    const oid row = ids[i];
+    const size_t in = static_cast<size_t>(row >= rbegin && row < rend);
+    acc += in;
+    const oid safe = in ? row : rbegin;
+    dst[k] = row;
+    k += in & pred(data[safe]);
+  }
+  *accesses += acc;
+  return k;
+}
+
+size_t SelectCandRangeI64(const int64_t* data, const oid* ids, size_t n,
+                          oid rbegin, oid rend, int64_t lo, int64_t hi,
+                          oid* dst, uint64_t* accesses) {
+  const __m256i lov = _mm256_set1_epi64x(lo);
+  const __m256i hiv = _mm256_set1_epi64x(hi);
+  const __m256i zero = _mm256_setzero_si256();
+  return CandSelect(
+      data, ids, n, rbegin, rend, dst, accesses,
+      [&](__m256i idv, __m256i in) {
+        const __m256i v = _mm256_mask_i64gather_epi64(
+            zero, reinterpret_cast<const long long*>(data), idv, in, 8);
+        const __m256i fail = _mm256_or_si256(_mm256_cmpgt_epi64(lov, v),
+                                             _mm256_cmpgt_epi64(v, hiv));
+        return ~_mm256_movemask_pd(_mm256_castsi256_pd(fail)) & 0xF;
+      },
+      [&](int64_t v) { return static_cast<size_t>((v >= lo) & (v <= hi)); });
+}
+
+size_t SelectCandEqI64(const int64_t* data, const oid* ids, size_t n,
+                       oid rbegin, oid rend, int64_t eq, oid* dst,
+                       uint64_t* accesses) {
+  const __m256i ev = _mm256_set1_epi64x(eq);
+  const __m256i zero = _mm256_setzero_si256();
+  return CandSelect(
+      data, ids, n, rbegin, rend, dst, accesses,
+      [&](__m256i idv, __m256i in) {
+        const __m256i v = _mm256_mask_i64gather_epi64(
+            zero, reinterpret_cast<const long long*>(data), idv, in, 8);
+        return _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, ev)));
+      },
+      [&](int64_t v) { return static_cast<size_t>(v == eq); });
+}
+
+size_t SelectCandRangeF64(const double* data, const oid* ids, size_t n,
+                          oid rbegin, oid rend, double lo, double hi, oid* dst,
+                          uint64_t* accesses) {
+  const __m256d lov = _mm256_set1_pd(lo);
+  const __m256d hiv = _mm256_set1_pd(hi);
+  const __m256d zero = _mm256_setzero_pd();
+  return CandSelect(
+      data, ids, n, rbegin, rend, dst, accesses,
+      [&](__m256i idv, __m256i in) {
+        const __m256d v = _mm256_mask_i64gather_pd(
+            zero, data, idv, _mm256_castsi256_pd(in), 8);
+        return _mm256_movemask_pd(
+            _mm256_and_pd(_mm256_cmp_pd(v, lov, _CMP_GE_OQ),
+                          _mm256_cmp_pd(v, hiv, _CMP_LE_OQ)));
+      },
+      [&](double v) { return static_cast<size_t>((v >= lo) & (v <= hi)); });
+}
+
+size_t SelectCandLike(const int64_t* codes, const oid* ids, size_t n,
+                      oid rbegin, oid rend, const uint8_t* match, oid* dst,
+                      uint64_t* accesses) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m128i zero128 = _mm_setzero_si128();
+  const __m128i ff = _mm_set1_epi32(0xFF);
+  return CandSelect(
+      codes, ids, n, rbegin, rend, dst, accesses,
+      [&](__m256i idv, __m256i in) {
+        const __m256i c = _mm256_mask_i64gather_epi64(
+            zero, reinterpret_cast<const long long*>(codes), idv, in, 8);
+        const __m128i w = _mm256_i64gather_epi32(
+            reinterpret_cast<const int*>(match), c, 1);
+        const __m128i hit = _mm_cmpeq_epi32(_mm_and_si128(w, ff), zero128);
+        return ~_mm_movemask_ps(_mm_castsi128_ps(hit)) & 0xF;
+      },
+      [&](int64_t code) { return static_cast<size_t>(match[code]); });
+}
+
+// ---- gathers ----------------------------------------------------------------
+
+void GatherI64(const int64_t* src, const oid* ids, size_t n, int64_t* dst) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(src), LoadIds(ids + i), 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  for (; i < n; ++i) dst[i] = src[ids[i]];
+}
+
+void GatherF64(const double* src, const oid* ids, size_t n, double* dst) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_i64gather_pd(src, LoadIds(ids + i), 8));
+  }
+  for (; i < n; ++i) dst[i] = src[ids[i]];
+}
+
+// ---- aggregation ingest reductions -----------------------------------------
+
+void MinMaxI64(const int64_t* v, size_t n, int64_t* mn, int64_t* mx) {
+  int64_t lo = v[0], hi = v[0];
+  size_t i = 0;
+  if (n >= 4) {
+    __m256i vmin = _mm256_set1_epi64x(v[0]);
+    __m256i vmax = vmin;
+    for (; i + 4 <= n; i += 4) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+      vmin = _mm256_blendv_epi8(vmin, x, _mm256_cmpgt_epi64(vmin, x));
+      vmax = _mm256_blendv_epi8(vmax, x, _mm256_cmpgt_epi64(x, vmax));
+    }
+    alignas(32) int64_t a[4], b[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(a), vmin);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(b), vmax);
+    for (int l = 0; l < 4; ++l) {
+      lo = a[l] < lo ? a[l] : lo;
+      hi = b[l] > hi ? b[l] : hi;
+    }
+  }
+  for (; i < n; ++i) {
+    lo = v[i] < lo ? v[i] : lo;
+    hi = v[i] > hi ? v[i] : hi;
+  }
+  *mn = lo;
+  *mx = hi;
+}
+
+void MinMaxF64(const double* v, size_t n, double* mn, double* mx) {
+  double lo = v[0], hi = v[0];
+  size_t i = 0;
+  if (n >= 4) {
+    __m256d vmin = _mm256_set1_pd(v[0]);
+    __m256d vmax = vmin;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d x = _mm256_loadu_pd(v + i);
+      vmin = _mm256_min_pd(vmin, x);
+      vmax = _mm256_max_pd(vmax, x);
+    }
+    alignas(32) double a[4], b[4];
+    _mm256_store_pd(a, vmin);
+    _mm256_store_pd(b, vmax);
+    for (int l = 0; l < 4; ++l) {
+      lo = a[l] < lo ? a[l] : lo;
+      hi = b[l] > hi ? b[l] : hi;
+    }
+  }
+  for (; i < n; ++i) {
+    lo = v[i] < lo ? v[i] : lo;
+    hi = v[i] > hi ? v[i] : hi;
+  }
+  *mn = lo;
+  *mx = hi;
+}
+
+bool SumI64Exact(const int64_t* v, size_t n, double* sum) {
+  if (n == 0) {
+    *sum = 0.0;
+    return true;
+  }
+  // Lane sums may wrap if the guard below fails; the wrap is well-defined
+  // (intrinsic adds / unsigned tail) and the result is discarded then.
+  uint64_t s = 0;
+  int64_t mn, mx;
+  MinMaxI64(v, n, &mn, &mx);
+  size_t i = 0;
+  if (n >= 4) {
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4) {
+      acc = _mm256_add_epi64(
+          acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+    }
+    alignas(32) uint64_t a[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(a), acc);
+    s = a[0] + a[1] + a[2] + a[3];
+  }
+  for (; i < n; ++i) s += static_cast<uint64_t>(v[i]);
+  const uint64_t am = mn == INT64_MIN ? (1ull << 63)
+                                      : static_cast<uint64_t>(mn < 0 ? -mn : mn);
+  const uint64_t bm = static_cast<uint64_t>(mx < 0 ? -mx : mx);
+  const uint64_t maxabs = am > bm ? am : bm;
+  // n * maxabs <= 2^53 bounds every partial sum of every association order
+  // at 2^53, where doubles are exact — so the sequential scalar fold equals
+  // this integer sum bit-for-bit.
+  if (maxabs > (1ull << 53) / n) return false;
+  *sum = static_cast<double>(static_cast<int64_t>(s));
+  return true;
+}
+
+}  // namespace
+
+const SimdOps& Avx2Ops() {
+  static const SimdOps ops = [] {
+    SimdOps o;
+    o.level = SimdLevel::kAvx2;
+    o.select_range_i64 = SelectRangeI64;
+    o.select_eq_i64 = SelectEqI64;
+    o.select_range_f64 = SelectRangeF64;
+    // Cross-typed predicates need exact int64<->double lanes (AVX-512DQ);
+    // they fall back to the generic loops at this tier.
+    o.select_like = SelectLike;
+    o.select_cand_range_i64 = SelectCandRangeI64;
+    o.select_cand_eq_i64 = SelectCandEqI64;
+    o.select_cand_range_f64 = SelectCandRangeF64;
+    o.select_cand_like = SelectCandLike;
+    o.gather_i64 = GatherI64;
+    o.gather_f64 = GatherF64;
+    o.minmax_i64 = MinMaxI64;
+    o.minmax_f64 = MinMaxF64;
+    o.sum_i64_exact = SumI64Exact;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace simd
+}  // namespace apq

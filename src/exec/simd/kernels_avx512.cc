@@ -1,0 +1,388 @@
+// AVX-512 tier: 8-lane (64-bit element) kernels.
+//
+// Compiled with -mavx512f -mavx512dq -mavx512vl (per-file flags, see
+// CMakeLists); the dispatch probe requires F+DQ+VL before selecting this
+// table. Selection-vector emission is the native form the AVX2 tier
+// emulates: compare into a mask register, vpcompressq the row-id vector,
+// store a full vector, advance by popcount (kSelectStoreSlack covers the
+// overstore). DQ supplies exact int64<->double lane conversions
+// (vcvtqq2pd / vcvttpd2qq), which is what unlocks the cross-typed
+// predicates the AVX2 tier leaves to the generic loops.
+//
+// Tails run the exact scalar fold of exec/kernels.cc, so outputs are
+// bit-identical at any length or alignment.
+#include "exec/simd/simd_ops.h"
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace apq {
+namespace simd {
+namespace {
+
+inline size_t CompressStore8(__m512i rows, __mmask8 m, oid* dst, size_t k) {
+  _mm512_storeu_si512(dst + k, _mm512_maskz_compress_epi64(m, rows));
+  return k + static_cast<size_t>(__builtin_popcount(m));
+}
+
+inline __m512i LoadIds(const oid* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+// ---- dense selects ----------------------------------------------------------
+
+// MaskFn: const T* -> __mmask8 over 8 consecutive values.
+// PredFn: T -> size_t 0/1 (the generic functor, for the tail).
+template <typename T, typename MaskFn, typename PredFn>
+inline size_t DenseSelect(const T* data, oid begin, oid end, oid* dst,
+                          MaskFn mask8, PredFn pred) {
+  size_t k = 0;
+  oid i = begin;
+  __m512i rows = _mm512_add_epi64(
+      _mm512_set1_epi64(static_cast<long long>(begin)),
+      _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7));
+  const __m512i eight = _mm512_set1_epi64(8);
+  for (; i + 8 <= end; i += 8) {
+    k = CompressStore8(rows, mask8(data + i), dst, k);
+    rows = _mm512_add_epi64(rows, eight);
+  }
+  for (; i < end; ++i) {
+    dst[k] = i;
+    k += pred(data[i]);
+  }
+  return k;
+}
+
+size_t SelectRangeI64(const int64_t* data, oid begin, oid end, int64_t lo,
+                      int64_t hi, oid* dst) {
+  const __m512i lov = _mm512_set1_epi64(lo);
+  const __m512i hiv = _mm512_set1_epi64(hi);
+  return DenseSelect(
+      data, begin, end, dst,
+      [&](const int64_t* p) {
+        const __m512i v = _mm512_loadu_si512(p);
+        return static_cast<__mmask8>(_mm512_cmpge_epi64_mask(v, lov) &
+                                     _mm512_cmple_epi64_mask(v, hiv));
+      },
+      [&](int64_t v) { return static_cast<size_t>((v >= lo) & (v <= hi)); });
+}
+
+size_t SelectEqI64(const int64_t* data, oid begin, oid end, int64_t eq,
+                   oid* dst) {
+  const __m512i ev = _mm512_set1_epi64(eq);
+  return DenseSelect(
+      data, begin, end, dst,
+      [&](const int64_t* p) {
+        return _mm512_cmpeq_epi64_mask(_mm512_loadu_si512(p), ev);
+      },
+      [&](int64_t v) { return static_cast<size_t>(v == eq); });
+}
+
+size_t SelectRangeF64(const double* data, oid begin, oid end, double lo,
+                      double hi, oid* dst) {
+  const __m512d lov = _mm512_set1_pd(lo);
+  const __m512d hiv = _mm512_set1_pd(hi);
+  return DenseSelect(
+      data, begin, end, dst,
+      [&](const double* p) {
+        const __m512d v = _mm512_loadu_pd(p);
+        return static_cast<__mmask8>(_mm512_cmp_pd_mask(v, lov, _CMP_GE_OQ) &
+                                     _mm512_cmp_pd_mask(v, hiv, _CMP_LE_OQ));
+      },
+      [&](double v) { return static_cast<size_t>((v >= lo) & (v <= hi)); });
+}
+
+size_t SelectRangeF64OverI64(const int64_t* data, oid begin, oid end,
+                             double lo, double hi, oid* dst) {
+  const __m512d lov = _mm512_set1_pd(lo);
+  const __m512d hiv = _mm512_set1_pd(hi);
+  return DenseSelect(
+      data, begin, end, dst,
+      [&](const int64_t* p) {
+        // vcvtqq2pd: the exact lane form of the scalar static_cast<double>.
+        const __m512d v = _mm512_cvtepi64_pd(_mm512_loadu_si512(p));
+        return static_cast<__mmask8>(_mm512_cmp_pd_mask(v, lov, _CMP_GE_OQ) &
+                                     _mm512_cmp_pd_mask(v, hiv, _CMP_LE_OQ));
+      },
+      [&](int64_t v) {
+        const double x = static_cast<double>(v);
+        return static_cast<size_t>((x >= lo) & (x <= hi));
+      });
+}
+
+size_t SelectRangeI64OverF64(const double* data, oid begin, oid end,
+                             int64_t lo, int64_t hi, oid* dst) {
+  const __m512i lov = _mm512_set1_epi64(lo);
+  const __m512i hiv = _mm512_set1_epi64(hi);
+  return DenseSelect(
+      data, begin, end, dst,
+      [&](const double* p) {
+        // vcvttpd2qq truncates like the scalar static_cast<int64_t> (and
+        // yields the same INT64_MIN sentinel x86 cvttsd2si produces on
+        // out-of-range input).
+        const __m512i v = _mm512_cvttpd_epi64(_mm512_loadu_pd(p));
+        return static_cast<__mmask8>(_mm512_cmpge_epi64_mask(v, lov) &
+                                     _mm512_cmple_epi64_mask(v, hiv));
+      },
+      [&](double v) {
+        const int64_t x = static_cast<int64_t>(v);
+        return static_cast<size_t>((x >= lo) & (x <= hi));
+      });
+}
+
+size_t SelectEqI64OverF64(const double* data, oid begin, oid end, int64_t eq,
+                          oid* dst) {
+  const __m512i ev = _mm512_set1_epi64(eq);
+  return DenseSelect(
+      data, begin, end, dst,
+      [&](const double* p) {
+        return _mm512_cmpeq_epi64_mask(_mm512_cvttpd_epi64(_mm512_loadu_pd(p)),
+                                       ev);
+      },
+      [&](double v) {
+        return static_cast<size_t>(static_cast<int64_t>(v) == eq);
+      });
+}
+
+size_t SelectLike(const int64_t* codes, oid begin, oid end,
+                  const uint8_t* match, oid* dst) {
+  const __m256i ff = _mm256_set1_epi32(0xFF);
+  const __m256i zero = _mm256_setzero_si256();
+  return DenseSelect(
+      codes, begin, end, dst,
+      [&](const int64_t* p) {
+        // 32-bit gather at byte offsets; kLikeMatchPad keeps the trailing
+        // 3-byte over-read inside the table allocation.
+        const __m256i w = _mm512_i64gather_epi32(
+            _mm512_loadu_si512(p), reinterpret_cast<const int*>(match), 1);
+        return _mm256_cmpneq_epi32_mask(_mm256_and_si256(w, ff), zero);
+      },
+      [&](int64_t code) { return static_cast<size_t>(match[code]); });
+}
+
+// ---- candidate-list selects -------------------------------------------------
+
+// GatherMaskFn: (__m512i ids, __mmask8 in) -> __mmask8 predicate mask over
+// the gathered values (masked-off lanes gather 0; in is ANDed by the caller).
+// PredFn: T -> size_t 0/1 for the scalar tail.
+template <typename T, typename GatherMaskFn, typename PredFn>
+inline size_t CandSelect(const T* data, const oid* ids, size_t n, oid rbegin,
+                         oid rend, oid* dst, uint64_t* accesses,
+                         GatherMaskFn gmask, PredFn pred) {
+  size_t k = 0;
+  uint64_t acc = 0;
+  const __m512i rb = _mm512_set1_epi64(static_cast<long long>(rbegin));
+  const __m512i re = _mm512_set1_epi64(static_cast<long long>(rend));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i idv = LoadIds(ids + i);
+    const __mmask8 in =
+        _mm512_cmpge_epu64_mask(idv, rb) & _mm512_cmplt_epu64_mask(idv, re);
+    acc += static_cast<uint64_t>(__builtin_popcount(in));
+    const __mmask8 pass = gmask(idv, in) & in;
+    k = CompressStore8(idv, pass, dst, k);
+  }
+  for (; i < n; ++i) {
+    const oid row = ids[i];
+    const size_t in = static_cast<size_t>(row >= rbegin && row < rend);
+    acc += in;
+    const oid safe = in ? row : rbegin;
+    dst[k] = row;
+    k += in & pred(data[safe]);
+  }
+  *accesses += acc;
+  return k;
+}
+
+size_t SelectCandRangeI64(const int64_t* data, const oid* ids, size_t n,
+                          oid rbegin, oid rend, int64_t lo, int64_t hi,
+                          oid* dst, uint64_t* accesses) {
+  const __m512i lov = _mm512_set1_epi64(lo);
+  const __m512i hiv = _mm512_set1_epi64(hi);
+  const __m512i zero = _mm512_setzero_si512();
+  return CandSelect(
+      data, ids, n, rbegin, rend, dst, accesses,
+      [&](__m512i idv, __mmask8 in) {
+        const __m512i v = _mm512_mask_i64gather_epi64(
+            zero, in, idv, reinterpret_cast<const long long*>(data), 8);
+        return static_cast<__mmask8>(_mm512_cmpge_epi64_mask(v, lov) &
+                                     _mm512_cmple_epi64_mask(v, hiv));
+      },
+      [&](int64_t v) { return static_cast<size_t>((v >= lo) & (v <= hi)); });
+}
+
+size_t SelectCandEqI64(const int64_t* data, const oid* ids, size_t n,
+                       oid rbegin, oid rend, int64_t eq, oid* dst,
+                       uint64_t* accesses) {
+  const __m512i ev = _mm512_set1_epi64(eq);
+  const __m512i zero = _mm512_setzero_si512();
+  return CandSelect(
+      data, ids, n, rbegin, rend, dst, accesses,
+      [&](__m512i idv, __mmask8 in) {
+        const __m512i v = _mm512_mask_i64gather_epi64(
+            zero, in, idv, reinterpret_cast<const long long*>(data), 8);
+        return _mm512_cmpeq_epi64_mask(v, ev);
+      },
+      [&](int64_t v) { return static_cast<size_t>(v == eq); });
+}
+
+size_t SelectCandRangeF64(const double* data, const oid* ids, size_t n,
+                          oid rbegin, oid rend, double lo, double hi, oid* dst,
+                          uint64_t* accesses) {
+  const __m512d lov = _mm512_set1_pd(lo);
+  const __m512d hiv = _mm512_set1_pd(hi);
+  const __m512d zero = _mm512_setzero_pd();
+  return CandSelect(
+      data, ids, n, rbegin, rend, dst, accesses,
+      [&](__m512i idv, __mmask8 in) {
+        const __m512d v = _mm512_mask_i64gather_pd(zero, in, idv, data, 8);
+        return static_cast<__mmask8>(_mm512_cmp_pd_mask(v, lov, _CMP_GE_OQ) &
+                                     _mm512_cmp_pd_mask(v, hiv, _CMP_LE_OQ));
+      },
+      [&](double v) { return static_cast<size_t>((v >= lo) & (v <= hi)); });
+}
+
+size_t SelectCandLike(const int64_t* codes, const oid* ids, size_t n,
+                      oid rbegin, oid rend, const uint8_t* match, oid* dst,
+                      uint64_t* accesses) {
+  const __m512i zero = _mm512_setzero_si512();
+  const __m256i ff = _mm256_set1_epi32(0xFF);
+  const __m256i zero256 = _mm256_setzero_si256();
+  return CandSelect(
+      codes, ids, n, rbegin, rend, dst, accesses,
+      [&](__m512i idv, __mmask8 in) {
+        const __m512i c = _mm512_mask_i64gather_epi64(
+            zero, in, idv, reinterpret_cast<const long long*>(codes), 8);
+        const __m256i w = _mm512_i64gather_epi32(
+            c, reinterpret_cast<const int*>(match), 1);
+        return _mm256_cmpneq_epi32_mask(_mm256_and_si256(w, ff), zero256);
+      },
+      [&](int64_t code) { return static_cast<size_t>(match[code]); });
+}
+
+// ---- gathers ----------------------------------------------------------------
+
+void GatherI64(const int64_t* src, const oid* ids, size_t n, int64_t* dst) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_i64gather_epi64(
+        LoadIds(ids + i), reinterpret_cast<const long long*>(src), 8);
+    _mm512_storeu_si512(dst + i, v);
+  }
+  for (; i < n; ++i) dst[i] = src[ids[i]];
+}
+
+void GatherF64(const double* src, const oid* ids, size_t n, double* dst) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(dst + i, _mm512_i64gather_pd(LoadIds(ids + i), src, 8));
+  }
+  for (; i < n; ++i) dst[i] = src[ids[i]];
+}
+
+// ---- aggregation ingest reductions -----------------------------------------
+
+void MinMaxI64(const int64_t* v, size_t n, int64_t* mn, int64_t* mx) {
+  int64_t lo = v[0], hi = v[0];
+  size_t i = 0;
+  if (n >= 8) {
+    __m512i vmin = _mm512_set1_epi64(v[0]);
+    __m512i vmax = vmin;
+    for (; i + 8 <= n; i += 8) {
+      const __m512i x = _mm512_loadu_si512(v + i);
+      vmin = _mm512_min_epi64(vmin, x);
+      vmax = _mm512_max_epi64(vmax, x);
+    }
+    lo = _mm512_reduce_min_epi64(vmin);
+    hi = _mm512_reduce_max_epi64(vmax);
+  }
+  for (; i < n; ++i) {
+    lo = v[i] < lo ? v[i] : lo;
+    hi = v[i] > hi ? v[i] : hi;
+  }
+  *mn = lo;
+  *mx = hi;
+}
+
+void MinMaxF64(const double* v, size_t n, double* mn, double* mx) {
+  double lo = v[0], hi = v[0];
+  size_t i = 0;
+  if (n >= 8) {
+    __m512d vmin = _mm512_set1_pd(v[0]);
+    __m512d vmax = vmin;
+    for (; i + 8 <= n; i += 8) {
+      const __m512d x = _mm512_loadu_pd(v + i);
+      vmin = _mm512_min_pd(vmin, x);
+      vmax = _mm512_max_pd(vmax, x);
+    }
+    lo = _mm512_reduce_min_pd(vmin);
+    hi = _mm512_reduce_max_pd(vmax);
+  }
+  for (; i < n; ++i) {
+    lo = v[i] < lo ? v[i] : lo;
+    hi = v[i] > hi ? v[i] : hi;
+  }
+  *mn = lo;
+  *mx = hi;
+}
+
+bool SumI64Exact(const int64_t* v, size_t n, double* sum) {
+  if (n == 0) {
+    *sum = 0.0;
+    return true;
+  }
+  uint64_t s = 0;
+  int64_t mn, mx;
+  MinMaxI64(v, n, &mn, &mx);
+  size_t i = 0;
+  if (n >= 8) {
+    __m512i acc = _mm512_setzero_si512();
+    for (; i + 8 <= n; i += 8) {
+      acc = _mm512_add_epi64(acc, _mm512_loadu_si512(v + i));
+    }
+    alignas(64) uint64_t a[8];
+    _mm512_store_si512(a, acc);
+    for (int l = 0; l < 8; ++l) s += a[l];
+  }
+  for (; i < n; ++i) s += static_cast<uint64_t>(v[i]);
+  const uint64_t am = mn == INT64_MIN ? (1ull << 63)
+                                      : static_cast<uint64_t>(mn < 0 ? -mn : mn);
+  const uint64_t bm = static_cast<uint64_t>(mx < 0 ? -mx : mx);
+  const uint64_t maxabs = am > bm ? am : bm;
+  // See kernels_avx2.cc: n * max|v| <= 2^53 makes every association order of
+  // the double fold exact, so the scalar sequential fold equals this sum.
+  if (maxabs > (1ull << 53) / n) return false;
+  *sum = static_cast<double>(static_cast<int64_t>(s));
+  return true;
+}
+
+}  // namespace
+
+const SimdOps& Avx512Ops() {
+  static const SimdOps ops = [] {
+    SimdOps o;
+    o.level = SimdLevel::kAvx512;
+    o.select_range_i64 = SelectRangeI64;
+    o.select_eq_i64 = SelectEqI64;
+    o.select_range_f64 = SelectRangeF64;
+    o.select_range_f64_over_i64 = SelectRangeF64OverI64;
+    o.select_range_i64_over_f64 = SelectRangeI64OverF64;
+    o.select_eq_i64_over_f64 = SelectEqI64OverF64;
+    o.select_like = SelectLike;
+    o.select_cand_range_i64 = SelectCandRangeI64;
+    o.select_cand_eq_i64 = SelectCandEqI64;
+    o.select_cand_range_f64 = SelectCandRangeF64;
+    o.select_cand_like = SelectCandLike;
+    o.gather_i64 = GatherI64;
+    o.gather_f64 = GatherF64;
+    o.minmax_i64 = MinMaxI64;
+    o.minmax_f64 = MinMaxF64;
+    o.sum_i64_exact = SumI64Exact;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace simd
+}  // namespace apq
