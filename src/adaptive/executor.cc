@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace apq {
 
 namespace {
+
+/// Static-storage event name for a mutation action (ring-buffer slots store
+/// the name pointer, not a copy).
+const char* MutationEventName(const MutationReport& r) {
+  if (r.action == "basic") return "mutate-basic";
+  if (r.action == "basic-skew") return "mutate-basic-skew";
+  if (r.action == "medium") return "mutate-medium";
+  if (r.action == "advanced") return "mutate-advanced";
+  return "mutate";
+}
 
 /// Floor for the runtime skew response: morsels this small are pure
 /// scheduling overhead even on the scaled-down datasets.
@@ -49,7 +62,20 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
   // from the base size every run.
   std::unordered_map<int, uint64_t> prev_hints;
 
+  static obs::Counter* const adaptive_runs =
+      obs::MetricsRegistry::Global().GetCounter("apq_adaptive_runs_total");
+  static obs::Counter* const mutations =
+      obs::MetricsRegistry::Global().GetCounter("apq_mutations_total");
+  static obs::Counter* const skew_repartitions =
+      obs::MetricsRegistry::Global().GetCounter(
+          "apq_skew_repartitions_total");
+
   while (true) {
+    // One span per adaptive iteration: execute + profile + (maybe) mutate.
+    // Nests under the engine's query span and above the evaluator's execute
+    // span on this thread.
+    obs::SpanScope run_span(obs::SpanKind::kRun, "adaptive-run", run);
+    adaptive_runs->Inc();
     EvalResult er;
     APQ_RETURN_NOT_OK(evaluator_->Execute(plan, &er));
     if (run == 0) {
@@ -153,6 +179,14 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
         }
       }
       out.runs.back().skew_hint_ops = static_cast<int>(hints.size());
+      if (!hints.empty()) {
+        // One event per shrunken operator so the trace shows WHICH nodes the
+        // runtime skew response squeezed and to what morsel size.
+        for (const auto& [node, rows] : hints) {
+          obs::EmitInstant(obs::SpanKind::kMutation, "skew-morsel-shrink",
+                           node, static_cast<int64_t>(rows));
+        }
+      }
       prev_hints = hints;
       evaluator_->SetAdaptiveMorselRows(std::move(hints));
     }
@@ -166,6 +200,23 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
     out.runs.back().mutated_node = report.target_node;
     out.runs.back().mutation = report.mutated ? report.action : "none";
     if (report.mutated && report.skew_aware) ++out.skew_mutations;
+    if (report.mutated) {
+      mutations->Inc();
+      if (report.skew_aware) skew_repartitions->Inc();
+      obs::EmitInstant(obs::SpanKind::kMutation, MutationEventName(report),
+                       report.target_node,
+                       static_cast<int64_t>(report.split_rows.size()),
+                       report.skew_aware ? 1 : 0);
+      // The chosen split points, one event each (a1 = base-row boundary):
+      // for a skew-aware re-partition these are the value-balanced
+      // boundaries the Fig 12 feedback loop picked.
+      for (uint64_t row : report.split_rows) {
+        obs::EmitInstant(obs::SpanKind::kMutation,
+                         report.skew_aware ? "skew-split-point"
+                                           : "split-point",
+                         report.target_node, static_cast<int64_t>(row));
+      }
+    }
     if (!report.mutated) {
       // No operator can be parallelized further; natural convergence.
       break;

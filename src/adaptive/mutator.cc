@@ -632,6 +632,11 @@ Status Mutator::SplitAligned(QueryPlan* plan, int node_id, int ways,
   APQ_RETURN_NOT_OK(SplitNodeAt(plan, node_id, pieces));
   if (report != nullptr) {
     report->skew_aware = skewed;
+    report->split_rows.clear();
+    report->split_rows.reserve(pieces.size() - 1);
+    for (size_t i = 1; i < pieces.size(); ++i) {
+      report->split_rows.push_back(pieces[i].begin);
+    }
     if (skewed) {
       report->detail = "skew " +
                        TablePrinter::Fmt(std::max(prof->morsel_skew,

@@ -18,7 +18,9 @@
 #ifndef APQ_ADAPTIVE_MUTATOR_H_
 #define APQ_ADAPTIVE_MUTATOR_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "plan/plan.h"
 #include "profile/profiler.h"
@@ -66,6 +68,11 @@ struct MutationReport {
   /// True when the basic mutation used skew-aware value-balanced range
   /// re-partitioning instead of uniform halving.
   bool skew_aware = false;
+  /// Interior split points (base-row boundaries between consecutive pieces)
+  /// a basic split chose — pieces.size() - 1 entries, ascending. The trace
+  /// exporter turns these into per-point re-partition events so a skewed
+  /// split's chosen boundaries are visible in the tomograph.
+  std::vector<uint64_t> split_rows;
 };
 
 /// \brief Applies the three mutation schemes to query plans.

@@ -1,12 +1,31 @@
 #include "engine/engine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/hash_clock.h"
+
 namespace apq {
+
+namespace {
+
+// End-to-end hardware latency per query, both entry points. Resolved once;
+// observation is a couple of relaxed atomics per query.
+obs::Histogram* QueryLatencyHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "apq_query_latency_ns", obs::Histogram::LatencyBoundsNs());
+  return h;
+}
+
+}  // namespace
 
 StatusOr<QueryRunResult> Engine::RunPlan(const QueryPlan& plan,
                                          const std::vector<SimTask>& background,
                                          uint64_t seed_salt) {
+  obs::SpanScope query_span(obs::SpanKind::kQuery, "query");
+  const double q0 = NowNs();
   EvalResult er;
   APQ_RETURN_NOT_OK(evaluator_.Execute(plan, &er));
+  QueryLatencyHistogram()->Observe(NowNs() - q0);
   std::vector<SimTask> tasks =
       BuildSimTasks(plan, er.metrics, cost_model_, /*instance=*/0);
   size_t own = tasks.size();
@@ -55,13 +74,21 @@ StatusOr<QueryRunResult> Engine::RunHeuristic(
 
 StatusOr<AdaptiveOutcome> Engine::RunAdaptive(
     const QueryPlan& serial_plan, const std::vector<SimTask>& background) {
+  obs::SpanScope query_span(obs::SpanKind::kQuery, "adaptive-query");
+  const double q0 = NowNs();
   AdaptiveParams params;
   params.convergence = config_.convergence;
   params.convergence.cores = config_.sim.logical_cores;
   params.mutator = config_.mutator;
   params.verify_results = config_.verify_results;
   AdaptiveExecutor exec(&evaluator_, cost_model_, simulator_, params);
-  return exec.Run(serial_plan, background);
+  auto out = exec.Run(serial_plan, background);
+  QueryLatencyHistogram()->Observe(NowNs() - q0);
+  if (out.ok()) {
+    query_span.set_args(static_cast<int64_t>(out.ValueOrDie().total_runs),
+                        out.ValueOrDie().gme_run);
+  }
+  return out;
 }
 
 StatusOr<std::vector<SimTask>> Engine::BuildBackground(

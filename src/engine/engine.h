@@ -51,6 +51,11 @@ struct EngineConfig {
   /// ExecOptions::simd_level): kAuto = best level the CPU supports; lower
   /// levels pin the tier for differential testing. APQ_SIMD overrides.
   simd::SimdLevel simd_level = simd::SimdLevel::kAuto;
+  /// Span tracing (see ExecOptions::trace): query/run/operator/morsel spans
+  /// plus steal and mutation events into the process-wide ring buffers,
+  /// exportable as Chrome trace JSON (obs/trace.h). APQ_TRACE=<file> enables
+  /// this too and flushes the trace at process exit.
+  bool trace = false;
   /// Morsel scheduler to share with other engines/queries. When null and
   /// use_morsels is set, the engine creates its own; pass
   /// MorselScheduler::Shared() (or another engine's morsel_scheduler()) so
@@ -155,6 +160,7 @@ class Engine {
     o.use_parallel_sort = c.use_parallel_sort;
     o.adaptive_morsel_rows = c.adaptive_morsel_rows;
     o.simd_level = c.simd_level;
+    o.trace = c.trace;
     return o;
   }
 

@@ -1,11 +1,13 @@
 #include "exec/evaluator.h"
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
+#include <string>
 #include <unordered_map>
 
 #include "exec/agg/parallel_agg.h"
@@ -112,6 +114,32 @@ uint64_t ForcedMorselRowsFromEnv() {
   return forced;
 }
 
+// Per-op-kind tuple-flow counters (every tier funnels through ExecNode, so
+// these cover kernels, morsels, parallel agg/sort/probe and SIMD alike).
+// Resolved once per process; the per-run update is one relaxed add per
+// operator, far off the hot path.
+struct TupleFlow {
+  obs::Counter* in = nullptr;
+  obs::Counter* out = nullptr;
+};
+
+const TupleFlow& TupleFlowFor(OpKind k) {
+  constexpr size_t kKinds = static_cast<size_t>(OpKind::kResult) + 1;
+  static const std::array<TupleFlow, kKinds>* flows = [] {
+    auto* f = new std::array<TupleFlow, kKinds>();
+    auto& reg = obs::MetricsRegistry::Global();
+    for (size_t i = 0; i < kKinds; ++i) {
+      const char* name = OpKindName(static_cast<OpKind>(i));
+      (*f)[i].in = reg.GetCounter(
+          std::string("apq_op_tuples_in_total{op=\"") + name + "\"}");
+      (*f)[i].out = reg.GetCounter(
+          std::string("apq_op_tuples_out_total{op=\"") + name + "\"}");
+    }
+    return f;
+  }();
+  return (*flows)[static_cast<size_t>(k)];
+}
+
 }  // namespace
 
 #define APQ_INPUT_OF(ctx, id, out) \
@@ -170,11 +198,22 @@ size_t Evaluator::MorselSelectDense(const Column& col, RowRange range,
   std::vector<MorselMetrics> mm(nm);
   EnsureMorselScheduler()->ParallelFor(nm, [&](size_t i, int worker) {
     const Morsel ms = src.morsel(i);
+    // Sampled by deterministic morsel index, so the trace never depends on
+    // which worker ran the morsel (determinism) and hot loops pay at most
+    // one span per kMorselSampleMask+1 tasks.
+    const bool tr =
+        obs::TraceEnabled() && (i & obs::kMorselSampleMask) == 0;
+    const uint64_t tt0 = tr ? obs::TraceTicks() : 0;
     const double t0 = NowNs();
     SelectDense(col, RowRange{ms.begin, ms.end}, pred, like_match, &frags[i],
                 simd_ops_);
     mm[i] = MorselMetrics{ms.size(), frags[i].size(), NowNs() - t0, worker,
                           ms.begin, ms.end};
+    if (tr) {
+      obs::EmitSpan(obs::SpanKind::kMorsel, "morsel-select", tt0,
+                    obs::TraceTicks(), m->node_id, static_cast<int64_t>(i),
+                    static_cast<int64_t>(frags[i].size()));
+    }
   });
 
   size_t total = 0;
@@ -201,6 +240,9 @@ size_t Evaluator::MorselSelectCandidates(const Column& col, RowRange range,
   std::vector<MorselMetrics> mm(nm);
   EnsureMorselScheduler()->ParallelFor(nm, [&](size_t i, int worker) {
     const Morsel ms = src.morsel(i);
+    const bool tr =
+        obs::TraceEnabled() && (i & obs::kMorselSampleMask) == 0;
+    const uint64_t tt0 = tr ? obs::TraceTicks() : 0;
     const double t0 = NowNs();
     SelectCandidatesSpan(col, range, pred, like_match,
                          candidates.data() + ms.begin, ms.size(), &frags[i],
@@ -213,6 +255,11 @@ size_t Evaluator::MorselSelectCandidates(const Column& col, RowRange range,
     if (db < range.begin || de > range.end) db = de = 0;
     mm[i] = MorselMetrics{ms.size(), frags[i].size(), NowNs() - t0, worker,
                           db, de};
+    if (tr) {
+      obs::EmitSpan(obs::SpanKind::kMorsel, "morsel-select-cand", tt0,
+                    obs::TraceTicks(), m->node_id, static_cast<int64_t>(i),
+                    static_cast<int64_t>(frags[i].size()));
+    }
   });
 
   size_t total = 0;
@@ -269,6 +316,9 @@ Status Evaluator::MorselGather(const Column& col, const std::vector<oid>& ids,
     std::vector<MorselMetrics> direct_mm(nm);
     EnsureMorselScheduler()->ParallelFor(nm, [&](size_t i, int worker) {
       const Morsel ms = src.morsel(i);
+      const bool tr =
+          obs::TraceEnabled() && (i & obs::kMorselSampleMask) == 0;
+      const uint64_t tt0 = tr ? obs::TraceTicks() : 0;
       const double t0 = NowNs();
       statuses[i] = GatherRowsAt(col, ids.data() + ms.begin, ms.size(), range,
                                  /*strict_sliced=*/sliced,
@@ -277,6 +327,11 @@ Status Evaluator::MorselGather(const Column& col, const std::vector<oid>& ids,
       const auto [db, de] = domain(ms);
       direct_mm[i] =
           MorselMetrics{ms.size(), ms.size(), NowNs() - t0, worker, db, de};
+      if (tr) {
+        obs::EmitSpan(obs::SpanKind::kMorsel, "morsel-gather", tt0,
+                      obs::TraceTicks(), m->node_id, static_cast<int64_t>(i),
+                      static_cast<int64_t>(ms.size()));
+      }
     });
     // Lowest failing morsel = input-order first offender, matching the
     // whole-list error; the partially written result is discarded upstream.
@@ -300,6 +355,9 @@ Status Evaluator::MorselGather(const Column& col, const std::vector<oid>& ids,
   std::vector<MorselMetrics> mm(nm);
   EnsureMorselScheduler()->ParallelFor(nm, [&](size_t i, int worker) {
     const Morsel ms = src.morsel(i);
+    const bool tr =
+        obs::TraceEnabled() && (i & obs::kMorselSampleMask) == 0;
+    const uint64_t tt0 = tr ? obs::TraceTicks() : 0;
     const double t0 = NowNs();
     frags[i].status =
         GatherRowsSpan(col, ids.data() + ms.begin, ms.size(), range, sliced,
@@ -307,6 +365,11 @@ Status Evaluator::MorselGather(const Column& col, const std::vector<oid>& ids,
     const auto [db, de] = domain(ms);
     mm[i] = MorselMetrics{ms.size(), frags[i].values.size(), NowNs() - t0,
                           worker, db, de};
+    if (tr) {
+      obs::EmitSpan(obs::SpanKind::kMorsel, "morsel-gather", tt0,
+                    obs::TraceTicks(), m->node_id, static_cast<int64_t>(i),
+                    static_cast<int64_t>(frags[i].values.size()));
+    }
   });
 
   // Errors surface from the lowest-indexed failing morsel: morsel order is
@@ -410,9 +473,17 @@ size_t Evaluator::MorselJoinProbe(
   std::vector<MorselMetrics> mm(nm);
   EnsureMorselScheduler()->ParallelFor(nm, [&](size_t i, int worker) {
     const Morsel ms = src.morsel(i);
+    const bool tr =
+        obs::TraceEnabled() && (i & obs::kMorselSampleMask) == 0;
+    const uint64_t tt0 = tr ? obs::TraceTicks() : 0;
     const double t0 = NowNs();
     probe_span(ms.begin, ms.end, &frags[i].l, &frags[i].r);
     mm[i] = MorselMetrics{ms.size(), frags[i].l.size(), NowNs() - t0, worker};
+    if (tr) {
+      obs::EmitSpan(obs::SpanKind::kMorsel, "morsel-probe", tt0,
+                    obs::TraceTicks(), m->node_id, static_cast<int64_t>(i),
+                    static_cast<int64_t>(frags[i].l.size()));
+    }
   });
 
   size_t total = 0;
@@ -468,6 +539,10 @@ Status Evaluator::Execute(const QueryPlan& plan, EvalResult* out) {
     std::lock_guard<std::mutex> lock(hash_mu_);
     hash_builds_.clear();
   }
+  // One span per plan execution: the nesting parent of every operator span
+  // on this thread (query -> [adaptive run ->] execute -> operator).
+  obs::SpanScope exec_span(obs::SpanKind::kRun, "execute",
+                           static_cast<int64_t>(order.size()));
   double t0 = NowNs();
   if (options_.num_threads > 1) {
     APQ_RETURN_NOT_OK(ExecuteParallel(plan, order, &slots, &done, &metrics));
@@ -493,6 +568,16 @@ Status Evaluator::Execute(const QueryPlan& plan, EvalResult* out) {
   }
 
   out->metrics = std::move(metrics);
+  // Tuple-flow accounting: once per run over the finished metrics, never in
+  // an operator or morsel loop.
+  static obs::Counter* const queries_total =
+      obs::MetricsRegistry::Global().GetCounter("apq_queries_total");
+  queries_total->Inc();
+  for (const OpMetrics& m : out->metrics) {
+    const TupleFlow& tf = TupleFlowFor(m.kind);
+    tf.in->Inc(m.tuples_in);
+    tf.out->Inc(m.tuples_out);
+  }
   const PlanNode& res = plan.node(plan.result_id());
   out->result = slots[res.inputs[0]];
   for (int id : order) {
@@ -622,6 +707,20 @@ Status Evaluator::ExecuteParallel(const QueryPlan& plan,
 Status Evaluator::ExecNode(const QueryPlan& plan, const PlanNode& node,
                            const ExecContext& ctx, Intermediate* result,
                            OpMetrics* m) {
+  // One span per operator execution; OpKindName returns static-storage
+  // strings, as the ring buffer requires. Tuple counts are attached after
+  // the operator ran.
+  obs::SpanScope span(obs::SpanKind::kOperator, OpKindName(node.kind),
+                      node.id);
+  Status st = ExecNodeInner(plan, node, ctx, result, m);
+  span.set_args(node.id, static_cast<int64_t>(m->tuples_in),
+                static_cast<int64_t>(m->tuples_out));
+  return st;
+}
+
+Status Evaluator::ExecNodeInner(const QueryPlan& plan, const PlanNode& node,
+                                const ExecContext& ctx, Intermediate* result,
+                                OpMetrics* m) {
   (void)plan;
   switch (node.kind) {
     case OpKind::kSelect: return ExecSelect(node, ctx, result, m);

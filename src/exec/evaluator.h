@@ -26,6 +26,8 @@
 #include "exec/morsel_source.h"
 #include "exec/simd/simd_ops.h"
 #include "exec/sort/sort_runs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/plan.h"
 #include "sched/morsel_scheduler.h"
 #include "sched/thread_pool.h"
@@ -111,6 +113,13 @@ struct ExecOptions {
   /// Only meaningful with use_kernels; outputs are bit-identical at every
   /// level. Levels above what the CPU/build supports clamp down.
   simd::SimdLevel simd_level = simd::SimdLevel::kAuto;
+  /// Enable span tracing (obs/trace.h) for executions through this
+  /// evaluator: operator spans, sampled morsel spans, steal events. Enabling
+  /// is process-wide and sticky (the ring buffers are shared); a valid
+  /// APQ_TRACE environment variable also enables it and adds an at-exit
+  /// Chrome-trace export. Tracing never changes results — only timings are
+  /// observed — and costs one branch per span site when off.
+  bool trace = false;
   /// Honor per-node morsel-size overrides injected between runs via
   /// SetAdaptiveMorselRows: the adaptive loop shrinks the morsel size of
   /// operators whose previous run showed high intra-operator skew, so
@@ -147,6 +156,15 @@ class Evaluator {
     // requested level > cpuid probe. Scalar tier = all-null table = the
     // generic loops.
     simd_ops_ = &simd::Resolve(options_.simd_level);
+    // Observability wiring (rare path: once per options change). APQ_TRACE /
+    // APQ_METRICS are read here so benches and examples that never touch
+    // Engine still export at exit; the gauge mirrors the dispatch tier the
+    // kernels actually run with.
+    obs::InitFromEnv();
+    if (options_.trace) obs::SetTraceEnabled(true);
+    obs::MetricsRegistry::Global()
+        .GetGauge("apq_simd_dispatch_level")
+        ->Set(static_cast<int64_t>(simd_ops_->level));
   }
   const ExecOptions& options() const { return options_; }
   void set_use_kernels(bool on) { options_.use_kernels = on; }
@@ -244,6 +262,9 @@ class Evaluator {
 
   Status ExecNode(const QueryPlan& plan, const PlanNode& node,
                   const ExecContext& ctx, Intermediate* result, OpMetrics* m);
+  Status ExecNodeInner(const QueryPlan& plan, const PlanNode& node,
+                       const ExecContext& ctx, Intermediate* result,
+                       OpMetrics* m);
 
   Status ExecSelect(const PlanNode& node, const ExecContext& ctx,
                     Intermediate* result, OpMetrics* m);

@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace apq {
+namespace obs {
+
+namespace {
+
+// Fixed-format double for export: trims trailing zeros so JSON stays
+// readable, keeps enough digits that nanosecond sums round-trip.
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Splits `apq_foo_total{worker="3"}` into base name and label body
+// (`worker="3"`, no braces); label body is empty when there is none.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  const size_t close = name.rfind('}');
+  *labels = name.substr(brace + 1,
+                        close == std::string::npos || close <= brace
+                            ? std::string::npos
+                            : close - brace - 1);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (bounds_.empty()) bounds_.push_back(1.0);
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  // Branchless-ish bucket search: bounds counts are tiny (<= ~30), the
+  // binary search is a handful of predictable compares.
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS accumulation of the double sum.
+  uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  double old_sum;
+  do {
+    std::memcpy(&old_sum, &old_bits, sizeof(old_sum));
+    const double new_sum = old_sum + v;
+    uint64_t new_bits;
+    std::memcpy(&new_bits, &new_sum, sizeof(new_bits));
+    if (sum_bits_.compare_exchange_weak(old_bits, new_bits,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  } while (true);
+}
+
+double Histogram::Sum() const {
+  const uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double sum;
+  std::memcpy(&sum, &bits, sizeof(sum));
+  return sum;
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Percentile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(total);
+  uint64_t cum = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= rank) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double within =
+          (rank - static_cast<double>(cum)) / static_cast<double>(c);
+      return lo + (hi - lo) * std::min(std::max(within, 0.0), 1.0);
+    }
+    cum += c;
+  }
+  return bounds_.back();
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  count_.store(0);
+  sum_bits_.store(0);
+}
+
+std::vector<double> Histogram::ExponentialBounds(double first, double factor,
+                                                 int n) {
+  std::vector<double> out;
+  out.reserve(n > 0 ? n : 0);
+  double b = first;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry();  // never destroyed:
+  return *g;  // instruments may be touched by atexit exporters and workers
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << c->Value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << g->Value();
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\"" << name << "\":{"
+       << "\"count\":" << h->Count() << ",\"sum\":" << FmtDouble(h->Sum())
+       << ",\"mean\":" << FmtDouble(h->Mean())
+       << ",\"p50\":" << FmtDouble(h->Percentile(0.50))
+       << ",\"p95\":" << FmtDouble(h->Percentile(0.95))
+       << ",\"p99\":" << FmtDouble(h->Percentile(0.99)) << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    os << base << (labels.empty() ? "" : "{" + labels + "}") << " "
+       << c->Value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    os << base << (labels.empty() ? "" : "{" + labels + "}") << " "
+       << g->Value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    const std::string sep = labels.empty() ? "" : labels + ",";
+    const auto counts = h->BucketCounts();
+    const auto& bounds = h->bounds();
+    uint64_t cum = 0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cum += counts[i];
+      os << base << "_bucket{" << sep << "le=\"" << FmtDouble(bounds[i])
+         << "\"} " << cum << "\n";
+    }
+    cum += counts[bounds.size()];
+    os << base << "_bucket{" << sep << "le=\"+Inf\"} " << cum << "\n";
+    os << base << "_sum" << (labels.empty() ? "" : "{" + labels + "}") << " "
+       << FmtDouble(h->Sum()) << "\n";
+    os << base << "_count" << (labels.empty() ? "" : "{" + labels + "}")
+       << " " << h->Count() << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace apq

@@ -1,0 +1,137 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket latency
+// histograms with interpolated p50/p95/p99, exported as JSON and as
+// Prometheus text exposition format.
+//
+// Design goals, in order:
+//   1. Hot-path cost: one relaxed atomic add per counter increment, one
+//      atomic add + one bucket store per histogram observation. No locks,
+//      no allocation, no formatting anywhere near an operator or morsel.
+//   2. Always-on: instruments register themselves once (registry lookup under
+//      a mutex, cached as a raw pointer by the call site) and live for the
+//      process lifetime — pointers handed out by the registry never dangle.
+//   3. Export is cheap enough to run per-query but only runs on demand:
+//      ToJson()/ToPrometheus() walk the registry under the registration
+//      mutex; readings are relaxed-atomic snapshots (counters may be mid-
+//      update — fine for monitoring, and the consistency tests quiesce
+//      first).
+//
+// This is the "metrics endpoint" half of the observability layer; the
+// span tracer (obs/trace.h) is the other half.
+#ifndef APQ_OBS_METRICS_H_
+#define APQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace apq {
+namespace obs {
+
+/// \brief Monotonically increasing counter (events, tuples, tasks).
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Point-in-time signed value (queue depth, active dispatch level).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram: `bounds` are ascending inclusive upper
+/// bucket bounds; one implicit +inf overflow bucket is appended. Percentiles
+/// interpolate linearly within the bucket that holds the requested rank
+/// (within the overflow bucket the last finite bound is returned), so
+/// accuracy is one bucket width — pick bounds to match (LatencyBoundsNs
+/// covers 250ns..16s at 2x resolution, plenty for p50/p95/p99 of anything
+/// this engine times).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  double Mean() const;
+  /// q in [0, 1]; returns 0 when empty.
+  double Percentile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  void Reset();
+
+  /// n ascending bounds: first, first*factor, first*factor^2, ...
+  static std::vector<double> ExponentialBounds(double first, double factor,
+                                               int n);
+  /// Default latency ladder in nanoseconds: 250ns doubling to ~16s.
+  static std::vector<double> LatencyBoundsNs() {
+    return ExponentialBounds(250.0, 2.0, 27);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // CAS-accumulated double
+};
+
+/// \brief Name -> instrument registry. Get* registers on first use and
+/// returns the same pointer forever after; pointers are valid for the
+/// process lifetime. Instrument names follow Prometheus conventions and may
+/// carry a label suffix: `apq_sched_tasks_total{worker="3"}`.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrument registers with.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is used only on first registration of `name`.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// p50, p95, p99}}} — one flat JSON object, stable key order.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format. Histograms emit cumulative
+  /// `_bucket{le="..."}` series plus `_sum` and `_count`; a label suffix in
+  /// the registered name is merged with the `le` label.
+  std::string ToPrometheus() const;
+
+  /// Zeroes every registered instrument (tests only; instruments stay
+  /// registered so cached pointers remain valid).
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace apq
+
+#endif  // APQ_OBS_METRICS_H_

@@ -1,0 +1,322 @@
+#include "obs/trace.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+#include "obs/metrics.h"
+
+namespace apq {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One thread's ring. Owned by a shared_ptr held both thread_locally (writer)
+// and by the global registry (reader), so buffers survive thread exit and
+// drains never race a destructor.
+struct ThreadRing {
+  TraceEvent ring[kTraceRingCapacity];
+  std::atomic<uint64_t> head{0};  // total events ever written
+  uint32_t tid = 0;
+};
+
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::atomic<uint32_t> next_tid{1};
+  // Calibration anchor: (ticks, steady ns) captured at registry creation;
+  // the exporter takes a second sample to solve ns-per-tick.
+  uint64_t anchor_ticks = 0;
+  uint64_t anchor_ns = 0;
+};
+
+RingRegistry& Registry() {
+  static RingRegistry* g = [] {
+    auto* r = new RingRegistry();  // leaked: atexit exporters still drain it
+    r->anchor_ticks = TraceTicks();
+    r->anchor_ns = SteadyNowNs();
+    return r;
+  }();
+  return *g;
+}
+
+ThreadRing* LocalRing() {
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto r = std::make_shared<ThreadRing>();
+    RingRegistry& reg = Registry();
+    r->tid = reg.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.rings.push_back(r);
+    return r;
+  }();
+  return ring.get();
+}
+
+void Emit(const TraceEvent& e) {
+  ThreadRing* r = LocalRing();
+  const uint64_t h = r->head.load(std::memory_order_relaxed);
+  TraceEvent slot = e;
+  slot.tid = r->tid;
+  r->ring[h % kTraceRingCapacity] = slot;
+  r->head.store(h + 1, std::memory_order_release);
+}
+
+// Converts raw ticks to microseconds relative to the calibration anchor.
+struct TickConverter {
+  uint64_t anchor_ticks;
+  double us_per_tick;
+  double ToUs(uint64_t ticks) const {
+    return ticks >= anchor_ticks
+               ? static_cast<double>(ticks - anchor_ticks) * us_per_tick
+               : -static_cast<double>(anchor_ticks - ticks) * us_per_tick;
+  }
+};
+
+TickConverter MakeConverter() {
+  RingRegistry& reg = Registry();
+  const uint64_t t1 = TraceTicks();
+  const uint64_t n1 = SteadyNowNs();
+  const uint64_t dt = t1 > reg.anchor_ticks ? t1 - reg.anchor_ticks : 0;
+  const uint64_t dn = n1 > reg.anchor_ns ? n1 - reg.anchor_ns : 0;
+  double ns_per_tick = 1.0;  // non-TSC clocks already tick in ns
+  if (dt > 0 && dn > 0) ns_per_tick = static_cast<double>(dn) /
+                                      static_cast<double>(dt);
+  return TickConverter{reg.anchor_ticks, ns_per_tick / 1000.0};
+}
+
+void JsonEscapeInto(std::ostringstream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') os << '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      os << "\\u0020";  // control chars never appear in our static names
+      continue;
+    }
+    os << c;
+  }
+}
+
+// ---- APQ_TRACE / APQ_METRICS: validated once, like APQ_FORCE_MORSELS ----
+
+std::string ValidatedEnvPath(const char* var) {
+  const char* v = std::getenv(var);
+  if (v == nullptr || v[0] == '\0') return "";
+  if (!ValidateWritablePath(v)) {
+    std::fprintf(stderr,
+                 "apq: ignoring %s=\"%s\": cannot open for writing (%s); "
+                 "tracing stays off for this target\n",
+                 var, v, std::strerror(errno));
+    return "";
+  }
+  return v;
+}
+
+void ExportAtExit() {
+  const std::string& trace_path = TraceEnvPath();
+  if (!trace_path.empty()) {
+    Status st = WriteChromeTrace(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "apq: trace export to \"%s\" failed: %s\n",
+                   trace_path.c_str(), st.ToString().c_str());
+    }
+  }
+  const std::string& metrics_path = MetricsEnvPath();
+  if (!metrics_path.empty()) {
+    const bool json = metrics_path.size() >= 5 &&
+                      metrics_path.rfind(".json") == metrics_path.size() - 5;
+    const std::string body = json ? MetricsRegistry::Global().ToJson()
+                                  : MetricsRegistry::Global().ToPrometheus();
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "apq: metrics export to \"%s\" failed: %s\n",
+                   metrics_path.c_str(), std::strerror(errno));
+    }
+  }
+}
+
+}  // namespace
+
+const char* SpanKindName(SpanKind k) {
+  switch (k) {
+    case SpanKind::kQuery: return "query";
+    case SpanKind::kRun: return "run";
+    case SpanKind::kOperator: return "operator";
+    case SpanKind::kMorsel: return "morsel";
+    case SpanKind::kSteal: return "steal";
+    case SpanKind::kMutation: return "mutation";
+    case SpanKind::kScheduler: return "scheduler";
+  }
+  return "?";
+}
+
+uint64_t TraceTicks() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return SteadyNowNs();
+#endif
+}
+
+void SetTraceEnabled(bool on) {
+  if (on) Registry();  // pin the calibration anchor before the first span
+  internal::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void EmitSpan(SpanKind kind, const char* name, uint64_t start_ticks,
+              uint64_t end_ticks, int64_t a0, int64_t a1, int64_t a2) {
+  if (!TraceEnabled()) return;
+  TraceEvent e;
+  e.start_ticks = start_ticks;
+  e.end_ticks = end_ticks >= start_ticks ? end_ticks : start_ticks;
+  e.name = name;
+  e.kind = kind;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.a2 = a2;
+  Emit(e);
+}
+
+void EmitInstant(SpanKind kind, const char* name, int64_t a0, int64_t a1,
+                 int64_t a2) {
+  if (!TraceEnabled()) return;
+  const uint64_t t = TraceTicks();
+  EmitSpan(kind, name, t, t, a0, a1, a2);
+}
+
+std::vector<TraceEvent> DrainEvents(uint64_t* dropped) {
+  RingRegistry& reg = Registry();
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    rings = reg.rings;
+  }
+  std::vector<TraceEvent> out;
+  uint64_t lost = 0;
+  for (const auto& r : rings) {
+    const uint64_t head = r->head.load(std::memory_order_acquire);
+    const uint64_t n = head < kTraceRingCapacity ? head : kTraceRingCapacity;
+    lost += head - n;
+    // Oldest-first: the ring holds events [head - n, head).
+    for (uint64_t i = head - n; i < head; ++i) {
+      const TraceEvent& e = r->ring[i % kTraceRingCapacity];
+      if (e.name == nullptr) continue;  // torn/unwritten slot
+      out.push_back(e);
+    }
+  }
+  if (dropped != nullptr) *dropped = lost;
+  return out;
+}
+
+std::string ChromeTraceJson() {
+  uint64_t dropped = 0;
+  const std::vector<TraceEvent> events = DrainEvents(&dropped);
+  const TickConverter conv = MakeConverter();
+  std::ostringstream os;
+  // Default stream precision is 6 significant digits: a ts of 1000167.244 µs
+  // would round to 1000170 while its dur kept sub-µs precision, making
+  // sequential spans appear to overlap in long traces. 15 digits keeps ts
+  // exact over any realistic run length.
+  os.precision(15);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    const double ts = conv.ToUs(e.start_ticks);
+    if (ts < 0) continue;  // predates the calibration anchor: unconvertible
+    os << (first ? "" : ",\n") << "{\"ph\":\""
+       << (e.end_ticks > e.start_ticks ? 'X' : 'i') << "\",\"name\":\"";
+    JsonEscapeInto(os, e.name);
+    os << "\",\"cat\":\"" << SpanKindName(e.kind) << "\",\"pid\":1,\"tid\":"
+       << e.tid << ",\"ts\":" << ts;
+    if (e.end_ticks > e.start_ticks) {
+      os << ",\"dur\":" << conv.ToUs(e.end_ticks) - ts;
+    } else {
+      os << ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    os << ",\"args\":{\"a0\":" << e.a0 << ",\"a1\":" << e.a1
+       << ",\"a2\":" << e.a2 << "}}";
+    first = false;
+  }
+  os << "],\"metadata\":{\"apq_dropped_events\":" << dropped << "}}";
+  return os.str();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::string body = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open trace file '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return Status::Internal("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void ClearTraceBuffers() {
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& r : reg.rings) {
+    // Resetting head is enough: DrainEvents only reads [head - n, head), and
+    // stale slots past the new head are unreachable until overwritten.
+    r->head.store(0, std::memory_order_release);
+    for (auto& slot : r->ring) slot.name = nullptr;
+  }
+}
+
+bool ValidateWritablePath(const char* path) {
+  if (path == nullptr || path[0] == '\0') return false;
+  std::FILE* f = std::fopen(path, "a");  // append: don't clobber on probe
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+const std::string& TraceEnvPath() {
+  static const std::string path = ValidatedEnvPath("APQ_TRACE");
+  return path;
+}
+
+const std::string& MetricsEnvPath() {
+  static const std::string path = ValidatedEnvPath("APQ_METRICS");
+  return path;
+}
+
+void InitFromEnv() {
+  static const bool once = [] {
+    const bool trace = !TraceEnvPath().empty();
+    const bool metrics = !MetricsEnvPath().empty();
+    if (trace) SetTraceEnabled(true);
+    if (trace || metrics) std::atexit(ExportAtExit);
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace obs
+}  // namespace apq

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "util/table_printer.h"
 
 namespace apq {
@@ -144,14 +145,23 @@ RunProfile MakeRunProfile(const QueryPlan& plan,
 
 std::string RenderOpReport(const RunProfile& profile) {
   TablePrinter tp({"node", "op", "label", "time_ms", "tuples_in", "tuples_out",
-                   "morsels", "skew", "tskew"});
+                   "morsels", "p50_ms", "p95_ms", "tskew"});
   for (const auto& op : profile.ops) {
+    // Per-morsel wall-time distribution through the registry's histogram
+    // type: p50/p95 make a fat tail (one hot morsel) directly readable where
+    // the old single max/mean figure only hinted at it. The max/mean skew
+    // scalar still drives the mutator and the summary line below.
+    std::string p50 = "-", p95 = "-";
+    if (!op.morsels.empty()) {
+      obs::Histogram h(obs::Histogram::LatencyBoundsNs());
+      for (const auto& ms : op.morsels) h.Observe(ms.wall_ns);
+      p50 = TablePrinter::Fmt(h.Percentile(0.50) / 1e6, 3);
+      p95 = TablePrinter::Fmt(h.Percentile(0.95) / 1e6, 3);
+    }
     tp.AddRow({std::to_string(op.node_id), OpKindName(op.kind), op.label,
                TablePrinter::Fmt(op.duration_ns() / 1e6, 3),
                std::to_string(op.tuples_in), std::to_string(op.tuples_out),
-               std::to_string(op.num_morsels),
-               op.num_morsels > 0 ? TablePrinter::Fmt(op.morsel_skew, 2)
-                                  : "-",
+               std::to_string(op.num_morsels), p50, p95,
                op.morsel_tuple_skew > 0
                    ? TablePrinter::Fmt(op.morsel_tuple_skew, 2)
                    : "-"});

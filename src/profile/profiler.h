@@ -101,10 +101,12 @@ RunProfile MakeRunProfile(const QueryPlan& plan,
 std::string RenderTomograph(const RunProfile& profile, int width = 72);
 
 /// \brief ASCII per-operator report: one row per operator with its measured
-/// time, tuple flow, morsel count, and intra-operator morsel skew (max/mean
-/// morsel wall time; "-" when the operator ran whole-column), plus a summary
-/// line with the run's worst skew — so imbalance is visible straight from
-/// the printed profile, without walking AdaptiveRun programmatically.
+/// time, tuple flow, morsel count, p50/p95 per-morsel wall time (from the
+/// obs::Histogram latency ladder; "-" when the operator ran whole-column or
+/// the raw morsel histogram was dropped), and tuple skew, plus a summary
+/// line with the run's worst max/mean wall and tuple skews — so imbalance is
+/// visible straight from the printed profile, without walking AdaptiveRun
+/// programmatically.
 std::string RenderOpReport(const RunProfile& profile);
 
 }  // namespace apq

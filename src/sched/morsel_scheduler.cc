@@ -1,6 +1,10 @@
 #include "sched/morsel_scheduler.h"
 
+#include <string>
+
+#include "obs/trace.h"
 #include "sched/thread_pool.h"
+#include "util/hash_clock.h"
 
 namespace apq {
 
@@ -19,6 +23,24 @@ MorselScheduler::MorselScheduler(int num_workers) {
   slots_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
     slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  // Resolve the registry instruments before workers spawn: registration
+  // takes the registry mutex, the per-task increments are lock-free.
+  auto& reg = obs::MetricsRegistry::Global();
+  m_tasks_ = reg.GetCounter("apq_sched_tasks_total");
+  m_steals_ = reg.GetCounter("apq_sched_steals_total");
+  m_caller_tasks_ = reg.GetCounter("apq_sched_caller_tasks_total");
+  m_queue_depth_ = reg.GetGauge("apq_sched_queue_depth");
+  m_steal_latency_ = reg.GetHistogram("apq_sched_steal_latency_ns",
+                                      obs::Histogram::LatencyBoundsNs());
+  m_worker_tasks_.reserve(num_workers);
+  m_worker_steals_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    const std::string idx = std::to_string(i);
+    m_worker_tasks_.push_back(reg.GetCounter(
+        "apq_sched_worker_tasks_total{worker=\"" + idx + "\"}"));
+    m_worker_steals_.push_back(reg.GetCounter(
+        "apq_sched_worker_steals_total{worker=\"" + idx + "\"}"));
   }
   workers_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
@@ -52,18 +74,22 @@ bool MorselScheduler::PopOwn(int w, Task* out) {
   *out = s.dq.back();  // LIFO: newest-dealt end of the own block, cache-warm
   s.dq.pop_back();
   pending_.fetch_sub(1);
+  m_queue_depth_->Add(-1);
   return true;
 }
 
-bool MorselScheduler::StealAny(int w, Task* out) {
+bool MorselScheduler::StealAny(int w, Task* out, int* victim) {
   const int n = static_cast<int>(slots_.size());
   for (int k = 1; k < n; ++k) {
-    WorkerSlot& v = *slots_[(w + k) % n];
+    const int v_idx = (w + k) % n;
+    WorkerSlot& v = *slots_[v_idx];
     std::lock_guard<std::mutex> lock(v.mu);
     if (v.dq.empty()) continue;
     *out = v.dq.front();  // FIFO: cold end of the victim's block
     v.dq.pop_front();
     pending_.fetch_sub(1);
+    m_queue_depth_->Add(-1);
+    if (victim != nullptr) *victim = v_idx;
     return true;
   }
   return false;
@@ -81,6 +107,7 @@ bool MorselScheduler::PopForJob(Job* job, Task* out) {
         *out = *it;
         s.dq.erase(it);
         pending_.fetch_sub(1);
+        m_queue_depth_->Add(-1);
         return true;
       }
     }
@@ -93,12 +120,24 @@ void MorselScheduler::WorkerLoop(int w) {
     Task t;
     if (PopOwn(w, &t)) {
       slots_[w]->tasks.fetch_add(1);
+      m_tasks_->Inc();
+      m_worker_tasks_[w]->Inc();
       RunTask(t, w);
       continue;
     }
-    if (StealAny(w, &t)) {
+    // The steal path is off the hot path (own deque dry), so it can afford a
+    // clock read for the steal-latency histogram even with tracing off.
+    const double steal_t0 = NowNs();
+    int victim = -1;
+    if (StealAny(w, &t, &victim)) {
       slots_[w]->tasks.fetch_add(1);
       slots_[w]->steals.fetch_add(1);
+      m_tasks_->Inc();
+      m_worker_tasks_[w]->Inc();
+      m_steals_->Inc();
+      m_worker_steals_[w]->Inc();
+      m_steal_latency_->Observe(NowNs() - steal_t0);
+      obs::EmitInstant(obs::SpanKind::kSteal, "steal", w, victim);
       RunTask(t, w);
       continue;
     }
@@ -122,6 +161,7 @@ void MorselScheduler::ParallelFor(size_t num_tasks,
     std::lock_guard<std::mutex> lock(idle_mu_);
     pending_.fetch_add(num_tasks);
   }
+  m_queue_depth_->Add(static_cast<int64_t>(num_tasks));
   // Deal contiguous blocks of morsels across the deques, rotating the first
   // recipient per job so concurrent small jobs don't all pile onto worker 0.
   const size_t nw = slots_.size();
@@ -142,6 +182,8 @@ void MorselScheduler::ParallelFor(size_t num_tasks,
   Task t;
   while (job.remaining.load() > 0 && PopForJob(&job, &t)) {
     caller_tasks_.fetch_add(1);
+    m_tasks_->Inc();
+    m_caller_tasks_->Inc();
     RunTask(t, kCallerWorker);
   }
   std::unique_lock<std::mutex> lock(job.mu);

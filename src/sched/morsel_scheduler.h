@@ -34,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace apq {
 
 /// \brief What one scheduler worker has done over its lifetime (observability
@@ -99,7 +101,9 @@ class MorselScheduler {
 
   void WorkerLoop(int w);
   bool PopOwn(int w, Task* out);
-  bool StealAny(int w, Task* out);
+  /// On success `*victim` (when non-null) is the worker whose deque the task
+  /// came from — the steal trace event's a1.
+  bool StealAny(int w, Task* out, int* victim = nullptr);
   bool PopForJob(Job* job, Task* out);
   static void RunTask(const Task& t, int worker);
 
@@ -107,6 +111,18 @@ class MorselScheduler {
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> caller_tasks_{0};
   std::atomic<size_t> next_deal_{0};  // round-robin base for job distribution
+
+  // Registry instruments, resolved once per scheduler (metrics aggregate
+  // across scheduler instances; tests diff before/after a quiescent run).
+  // Always-on: one relaxed atomic add per task on top of the slot counters.
+  std::vector<obs::Counter*> m_worker_tasks_;   // per worker index
+  std::vector<obs::Counter*> m_worker_steals_;  // per worker index
+  obs::Counter* m_tasks_ = nullptr;             // all claims (workers+caller)
+  obs::Counter* m_steals_ = nullptr;
+  obs::Counter* m_caller_tasks_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;         // submitted-but-unclaimed
+  obs::Histogram* m_steal_latency_ = nullptr;   // ns from own-deque-dry to
+                                                // successful steal
 
   // Sleep/wake: workers wait on idle_cv_ when the whole system is out of
   // tasks; pending_ counts submitted-but-unclaimed tasks.

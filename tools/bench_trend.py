@@ -59,8 +59,16 @@ def main():
                     "(default 0.20)")
     args = ap.parse_args()
 
-    base = load_throughputs(args.baseline)
-    fresh = load_throughputs(args.fresh)
+    # Malformed or unreadable inputs exit 2 (distinct from exit 1 =
+    # regression) so CI can tell "the bench run produced garbage" apart from
+    # "the code got slower".
+    try:
+        base = load_throughputs(args.baseline)
+        fresh = load_throughputs(args.fresh)
+    except (OSError, json.JSONDecodeError) as e:
+        print("bench_trend: cannot load benchmark JSON: %s" % e,
+              file=sys.stderr)
+        return 2
 
     regressions = []
     rows = []

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate an APQ Chrome trace-event JSON (the APQ_TRACE output).
+
+Usage:
+    tools/trace_check.py trace.json [--require-cat query,operator]
+
+Checks, exiting non-zero with a message on the first class of failure:
+  * the file parses as JSON and has a non-empty "traceEvents" list;
+  * every event carries the required keys (ph/name/cat/pid/tid/ts) with
+    sane types, "X" events a non-negative "dur";
+  * per (pid, tid), complete ("X") events nest properly: sorted by start
+    time, no span extends past the end of a still-open enclosing span —
+    i.e. the query -> run -> operator -> morsel hierarchy Perfetto renders
+    as a flame graph is structurally consistent;
+  * optionally (--require-cat) that named categories actually occur, so CI
+    can assert an instrumented run produced operator/morsel spans and not
+    just an empty skeleton.
+
+Prints a one-line summary (event counts per category, drop count) on
+success — the CI trace-smoke step's log line.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+REQUIRED_KEYS = ("ph", "name", "cat", "pid", "tid", "ts")
+
+# Tolerance (µs) for end-vs-start comparisons: TSC-to-µs conversion rounds,
+# so a child may appear to outlive its parent by a fraction of a tick.
+EPSILON_US = 2.0
+
+
+def fail(msg):
+    print("trace_check: FAIL: %s" % msg, file=sys.stderr)
+    return 1
+
+
+def check(path, require_cats):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail("cannot load %s: %s" % (path, e))
+
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return fail('"traceEvents" missing or not a list')
+    if not events:
+        return fail('"traceEvents" is empty (tracing produced no spans)')
+
+    by_thread = collections.defaultdict(list)
+    cats = collections.Counter()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail("event %d is not an object" % i)
+        for key in REQUIRED_KEYS:
+            if key not in ev:
+                return fail('event %d ("%s") missing key "%s"'
+                            % (i, ev.get("name", "?"), key))
+        if ev["ph"] not in ("X", "i"):
+            return fail('event %d has unexpected ph "%s"' % (i, ev["ph"]))
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            return fail("event %d has bad ts %r" % (i, ev["ts"]))
+        if ev["ph"] == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail('event %d ("%s") has bad dur %r'
+                            % (i, ev["name"], dur))
+            by_thread[(ev["pid"], ev["tid"])].append(ev)
+        cats[ev["cat"]] += 1
+
+    # Stack-consistency per thread: walking spans in start order, each span
+    # must close before every span already open around it closes.
+    for (pid, tid), spans in by_thread.items():
+        spans.sort(key=lambda ev: (ev["ts"], -ev["dur"]))
+        open_ends = []  # end timestamps of enclosing spans
+        for ev in spans:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while open_ends and open_ends[-1] <= start + EPSILON_US:
+                open_ends.pop()
+            if open_ends and end > open_ends[-1] + EPSILON_US:
+                return fail(
+                    'span "%s" on pid %s tid %s [%.3f, %.3f] overlaps the '
+                    "end of its enclosing span (%.3f) without nesting"
+                    % (ev["name"], pid, tid, start, end, open_ends[-1]))
+            open_ends.append(end)
+
+    for cat in require_cats:
+        if cats.get(cat, 0) == 0:
+            return fail('required category "%s" has no events (got: %s)'
+                        % (cat, ", ".join(sorted(cats)) or "none"))
+
+    dropped = 0
+    meta = data.get("metadata")
+    if isinstance(meta, dict):
+        dropped = meta.get("apq_dropped_events", 0)
+    summary = ", ".join("%s=%d" % (c, n) for c, n in sorted(cats.items()))
+    print("trace_check: ok: %d events across %d thread(s) [%s], %s dropped"
+          % (len(events), len(by_thread), summary, dropped))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate an APQ Chrome trace-event JSON.")
+    ap.add_argument("trace", help="trace JSON written via APQ_TRACE")
+    ap.add_argument("--require-cat", default="",
+                    help="comma-separated categories that must be present "
+                    "(e.g. operator,morsel)")
+    args = ap.parse_args()
+    cats = [c for c in args.require_cat.split(",") if c]
+    return check(args.trace, cats)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
