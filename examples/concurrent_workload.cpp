@@ -3,6 +3,17 @@
 // for it.
 //
 //   $ ./example_concurrent_workload
+//
+// Watch it live: start with the HTTP introspection endpoint up and poll the
+// recent-query ring from another terminal while the clients run —
+//
+//   $ APQ_HTTP=9417 ./example_concurrent_workload &
+//   $ watch -n 0.5 'curl -s http://127.0.0.1:9417/debug/queries'
+//   $ curl -s http://127.0.0.1:9417/metrics | grep apq_sched
+//   $ curl -s http://127.0.0.1:9417/debug/profile/3   # full EXPLAIN-ANALYZE
+//
+// Every engine below shares one process-wide query log, so the adaptive and
+// per-client serial queries all appear in /debug/queries, newest first.
 #include <cstdio>
 #include <thread>
 #include <vector>

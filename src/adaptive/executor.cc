@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 
 namespace apq {
@@ -37,6 +38,7 @@ constexpr double kMaxShrinkFactor = 8.0;
 StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
     const QueryPlan& serial_plan, const std::vector<SimTask>& background) {
   AdaptiveOutcome out;
+  out.query_id = obs::CurrentQueryId();
   ConvergenceController conv(params_.convergence);
   Mutator mutator(params_.mutator);
 
@@ -74,7 +76,8 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
     // One span per adaptive iteration: execute + profile + (maybe) mutate.
     // Nests under the engine's query span and above the evaluator's execute
     // span on this thread.
-    obs::SpanScope run_span(obs::SpanKind::kRun, "adaptive-run", run);
+    obs::SpanScope run_span(obs::SpanKind::kRun, "adaptive-run", run,
+                            static_cast<int64_t>(out.query_id));
     adaptive_runs->Inc();
     EvalResult er;
     APQ_RETURN_NOT_OK(evaluator_->Execute(plan, &er));
@@ -147,6 +150,17 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
     rec.max_morsel_tuple_skew = profile.MaxMorselTupleSkew();
     out.runs.push_back(rec);
 
+    // Lineage entry for this run, parallel to out.runs; the decision fields
+    // (victim / action / split points) are filled below once the mutator has
+    // spoken. Invariant checked by tests: lineage.size() == total_runs.
+    AdaptiveLineage lin;
+    lin.run = run;
+    lin.time_ns = time;
+    lin.wall_ns = er.wall_ns;
+    lin.max_morsel_skew = rec.max_morsel_skew;
+    lin.max_morsel_tuple_skew = rec.max_morsel_tuple_skew;
+    out.lineage.push_back(std::move(lin));
+
     // Runtime skew response: operators that ran imbalanced this run get a
     // shrunken morsel size next run, so the work-stealing scheduler
     // rebalances within the operator while the mutator works on the plan.
@@ -179,6 +193,7 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
         }
       }
       out.runs.back().skew_hint_ops = static_cast<int>(hints.size());
+      out.lineage.back().skew_hint_ops = static_cast<int>(hints.size());
       if (!hints.empty()) {
         // One event per shrunken operator so the trace shows WHICH nodes the
         // runtime skew response squeezed and to what morsel size.
@@ -199,6 +214,10 @@ StatusOr<AdaptiveOutcome> AdaptiveExecutor::Run(
     if (!mutated.ok()) return mutated.status();
     out.runs.back().mutated_node = report.target_node;
     out.runs.back().mutation = report.mutated ? report.action : "none";
+    out.lineage.back().victim = report.target_node;
+    out.lineage.back().action = report.mutated ? report.action : "none";
+    out.lineage.back().skew_aware = report.mutated && report.skew_aware;
+    out.lineage.back().split_rows = report.split_rows;
     if (report.mutated && report.skew_aware) ++out.skew_mutations;
     if (report.mutated) {
       mutations->Inc();

@@ -1,7 +1,12 @@
 #include "engine/engine.h"
 
+#include <cstdio>
+
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
+#include "profile/profile_json.h"
 #include "util/hash_clock.h"
 
 namespace apq {
@@ -16,16 +21,49 @@ obs::Histogram* QueryLatencyHistogram() {
   return h;
 }
 
+// Failed queries must leave a metric trail (satellite: every Engine query
+// error path bumps this and records an error-status QueryRecord).
+obs::Counter* QueryErrorsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("apq_query_errors_total");
+  return c;
+}
+
+// Serializes `doc`, wraps it in a QueryRecord, and pushes it into the
+// recent-query ring — the single recording point both entry points (and
+// both their ok/error paths) funnel through.
+void RecordQuery(const QueryProfileDoc& doc, int runs, int mutations) {
+  obs::QueryRecord rec;
+  rec.id = doc.query_id;
+  rec.kind = doc.kind;
+  rec.status = doc.status;
+  rec.error = doc.error;
+  rec.wall_ns = doc.wall_ns;
+  rec.time_ns = doc.time_ns;
+  rec.rows = doc.rows;
+  rec.runs = runs;
+  rec.mutations = mutations;
+  rec.profile_json = QueryProfileJson(doc);
+  obs::QueryLog::Global().Push(std::move(rec));
+}
+
 }  // namespace
 
-StatusOr<QueryRunResult> Engine::RunPlan(const QueryPlan& plan,
-                                         const std::vector<SimTask>& background,
-                                         uint64_t seed_salt) {
-  obs::SpanScope query_span(obs::SpanKind::kQuery, "query");
-  const double q0 = NowNs();
+void Engine::StartIntrospection(int port) {
+  Status st = obs::HttpExporter::Global().Start(port);
+  if (!st.ok()) {
+    std::fprintf(stderr,
+                 "apq: EngineConfig::http_port introspection endpoint failed "
+                 "to start: %s; introspection stays off\n",
+                 st.ToString().c_str());
+  }
+}
+
+StatusOr<QueryRunResult> Engine::RunPlanInner(
+    const QueryPlan& plan, const std::vector<SimTask>& background,
+    uint64_t seed_salt) {
   EvalResult er;
   APQ_RETURN_NOT_OK(evaluator_.Execute(plan, &er));
-  QueryLatencyHistogram()->Observe(NowNs() - q0);
   std::vector<SimTask> tasks =
       BuildSimTasks(plan, er.metrics, cost_model_, /*instance=*/0);
   size_t own = tasks.size();
@@ -56,6 +94,37 @@ StatusOr<QueryRunResult> Engine::RunPlan(const QueryPlan& plan,
   return out;
 }
 
+StatusOr<QueryRunResult> Engine::RunPlan(const QueryPlan& plan,
+                                         const std::vector<SimTask>& background,
+                                         uint64_t seed_salt) {
+  const uint64_t qid = obs::NextQueryId();
+  obs::QueryIdScope qid_scope(qid);
+  obs::SpanScope query_span(obs::SpanKind::kQuery, "query",
+                            static_cast<int64_t>(qid));
+  const double q0 = NowNs();
+  auto out = RunPlanInner(plan, background, seed_salt);
+  const double wall = NowNs() - q0;
+  QueryLatencyHistogram()->Observe(wall);
+
+  QueryProfileDoc doc;
+  doc.query_id = qid;
+  doc.kind = "plan";
+  doc.wall_ns = wall;
+  if (out.ok()) {
+    QueryRunResult& r = out.ValueOrDie();
+    r.query_id = qid;
+    doc.time_ns = r.time_ns;
+    doc.rows = r.result.NumRows();
+    doc.profile = &r.profile;
+  } else {
+    QueryErrorsCounter()->Inc();
+    doc.status = "error";
+    doc.error = out.status().ToString();
+  }
+  RecordQuery(doc, /*runs=*/1, /*mutations=*/0);
+  return out;
+}
+
 StatusOr<QueryPlan> Engine::HeuristicPlan(const QueryPlan& serial_plan,
                                           int dop) const {
   HeuristicConfig hc;
@@ -74,7 +143,10 @@ StatusOr<QueryRunResult> Engine::RunHeuristic(
 
 StatusOr<AdaptiveOutcome> Engine::RunAdaptive(
     const QueryPlan& serial_plan, const std::vector<SimTask>& background) {
-  obs::SpanScope query_span(obs::SpanKind::kQuery, "adaptive-query");
+  const uint64_t qid = obs::NextQueryId();
+  obs::QueryIdScope qid_scope(qid);
+  obs::SpanScope query_span(obs::SpanKind::kQuery, "adaptive-query",
+                            static_cast<int64_t>(qid));
   const double q0 = NowNs();
   AdaptiveParams params;
   params.convergence = config_.convergence;
@@ -83,11 +155,32 @@ StatusOr<AdaptiveOutcome> Engine::RunAdaptive(
   params.verify_results = config_.verify_results;
   AdaptiveExecutor exec(&evaluator_, cost_model_, simulator_, params);
   auto out = exec.Run(serial_plan, background);
-  QueryLatencyHistogram()->Observe(NowNs() - q0);
+  const double wall = NowNs() - q0;
+  QueryLatencyHistogram()->Observe(wall);
+
+  QueryProfileDoc doc;
+  doc.query_id = qid;
+  doc.kind = "adaptive";
+  doc.wall_ns = wall;
+  int runs = 0;
+  int mutations = 0;
   if (out.ok()) {
-    query_span.set_args(static_cast<int64_t>(out.ValueOrDie().total_runs),
-                        out.ValueOrDie().gme_run);
+    const AdaptiveOutcome& a = out.ValueOrDie();
+    query_span.set_args(static_cast<int64_t>(qid), a.total_runs, a.gme_run);
+    doc.time_ns = a.gme_time_ns;
+    doc.rows = a.result.NumRows();
+    doc.profile = &a.gme_profile;
+    doc.adaptive = &a;
+    runs = a.total_runs;
+    for (const auto& entry : a.lineage) {
+      if (entry.action != "none") ++mutations;
+    }
+  } else {
+    QueryErrorsCounter()->Inc();
+    doc.status = "error";
+    doc.error = out.status().ToString();
   }
+  RecordQuery(doc, runs, mutations);
   return out;
 }
 

@@ -56,6 +56,13 @@ struct EngineConfig {
   /// exportable as Chrome trace JSON (obs/trace.h). APQ_TRACE=<file> enables
   /// this too and flushes the trace at process exit.
   bool trace = false;
+  /// Live introspection endpoint (obs/http_exporter.h): when > 0, the
+  /// engine constructor starts the process-wide HTTP exporter on
+  /// 127.0.0.1:<http_port> (GET /metrics, /metrics.json, /healthz,
+  /// /debug/queries, /debug/profile/<query-id>). 0 = off. APQ_HTTP=<port>
+  /// enables it too, without Engine plumbing; a failing bind warns once and
+  /// introspection stays off — it never fails a query.
+  int http_port = 0;
   /// Morsel scheduler to share with other engines/queries. When null and
   /// use_morsels is set, the engine creates its own; pass
   /// MorselScheduler::Shared() (or another engine's morsel_scheduler()) so
@@ -76,6 +83,9 @@ struct EngineConfig {
 
 /// \brief Result of executing one plan once on the simulated machine.
 struct QueryRunResult {
+  /// Process-wide query id (obs/query_log.h): the key correlating this
+  /// result with its trace spans and /debug/profile/<id> document.
+  uint64_t query_id = 0;
   double time_ns = 0;       // response time (simulated machine)
   double wall_ns = 0;       // hardware truth: evaluator wall-clock time
   double utilization = 0;   // multi-core utilization during the run
@@ -99,6 +109,7 @@ class Engine {
       // engines before the first query runs.
       evaluator_.EnsureMorselScheduler();
     }
+    if (config_.http_port > 0) StartIntrospection(config_.http_port);
   }
 
   const EngineConfig& config() const { return config_; }
@@ -149,6 +160,16 @@ class Engine {
       double spacing_ns = 0.0);
 
  private:
+  /// Starts the process-wide HTTP exporter on `port` (hardened: a failing
+  /// bind warns once on stderr and introspection stays off).
+  static void StartIntrospection(int port);
+
+  /// RunPlan minus the query-id / record bookkeeping (the outer method
+  /// records the outcome — including errors — into the query log).
+  StatusOr<QueryRunResult> RunPlanInner(const QueryPlan& plan,
+                                        const std::vector<SimTask>& background,
+                                        uint64_t seed_salt);
+
   static ExecOptions MakeExecOptions(const EngineConfig& c) {
     ExecOptions o;
     o.use_kernels = c.use_kernels;

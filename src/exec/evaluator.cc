@@ -13,6 +13,7 @@
 #include "exec/agg/parallel_agg.h"
 #include "exec/kernels.h"
 #include "exec/sort/merge.h"
+#include "obs/query_log.h"
 #include "util/hash_clock.h"
 
 namespace apq {
@@ -541,8 +542,11 @@ Status Evaluator::Execute(const QueryPlan& plan, EvalResult* out) {
   }
   // One span per plan execution: the nesting parent of every operator span
   // on this thread (query -> [adaptive run ->] execute -> operator).
+  // a1 = the engine's query id, correlating this span with
+  // /debug/profile/<id> (0 outside an Engine query).
   obs::SpanScope exec_span(obs::SpanKind::kRun, "execute",
-                           static_cast<int64_t>(order.size()));
+                           static_cast<int64_t>(order.size()),
+                           static_cast<int64_t>(obs::CurrentQueryId()));
   double t0 = NowNs();
   if (options_.num_threads > 1) {
     APQ_RETURN_NOT_OK(ExecuteParallel(plan, order, &slots, &done, &metrics));

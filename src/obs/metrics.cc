@@ -81,13 +81,22 @@ double Histogram::Mean() const {
 }
 
 double Histogram::Percentile(double q) const {
-  const uint64_t total = Count();
+  // Snapshot the buckets once and derive the total from the SAME snapshot:
+  // count_ is a separate relaxed atomic, so reading it independently can
+  // disagree with the buckets mid-Observe and push the rank past the walk.
+  // With the snapshot total, the answer is deterministic for every state the
+  // buckets can actually be observed in: empty -> 0, everything in the
+  // overflow bucket -> the overflow lower bound (bounds_.back()).
+  const std::vector<uint64_t> counts = BucketCounts();
+  const size_t n = counts.size();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
   q = std::min(std::max(q, 0.0), 1.0);
   const double rank = q * static_cast<double>(total);
   uint64_t cum = 0;
-  for (size_t i = 0; i <= bounds_.size(); ++i) {
-    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t c = counts[i];
     if (c == 0) continue;
     if (static_cast<double>(cum + c) >= rank) {
       if (i == bounds_.size()) return bounds_.back();  // overflow bucket

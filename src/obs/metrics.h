@@ -69,7 +69,11 @@ class Histogram {
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const;
   double Mean() const;
-  /// q in [0, 1]; returns 0 when empty.
+  /// q in [0, 1]. Deterministic edge cases: 0 when empty; the overflow
+  /// lower bound (bounds().back()) when the rank lands in the +inf bucket.
+  /// The rank is computed from one snapshot of the bucket counts (not the
+  /// separately-updated Count()), so a read racing Observe still walks a
+  /// self-consistent distribution.
   double Percentile(double q) const;
 
   const std::vector<double>& bounds() const { return bounds_; }

@@ -1,0 +1,142 @@
+#include "obs/query_log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/trace.h"  // ValidateWritablePath
+
+namespace apq {
+namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_query_id{1};
+thread_local uint64_t t_current_query_id = 0;
+
+// Minimal JSON string escaping for status/error texts (profile documents
+// arrive pre-serialized and are embedded verbatim).
+void JsonEscapeInto(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+void AppendSummary(std::ostringstream& os, const QueryRecord& r) {
+  os.precision(15);
+  os << "{\"id\":" << r.id << ",\"kind\":\"";
+  JsonEscapeInto(os, r.kind);
+  os << "\",\"status\":\"";
+  JsonEscapeInto(os, r.status);
+  os << "\",\"error\":\"";
+  JsonEscapeInto(os, r.error);
+  os << "\",\"wall_ns\":" << r.wall_ns << ",\"time_ns\":" << r.time_ns
+     << ",\"rows\":" << r.rows << ",\"runs\":" << r.runs
+     << ",\"mutations\":" << r.mutations << "}";
+}
+
+}  // namespace
+
+uint64_t NextQueryId() {
+  return g_next_query_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t CurrentQueryId() { return t_current_query_id; }
+
+QueryIdScope::QueryIdScope(uint64_t id) : prev_(t_current_query_id) {
+  t_current_query_id = id;
+}
+
+QueryIdScope::~QueryIdScope() { t_current_query_id = prev_; }
+
+QueryLog& QueryLog::Global() {
+  static QueryLog* g = new QueryLog();  // leaked: atexit dumps still read it
+  return *g;
+}
+
+void QueryLog::Push(QueryRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.push_back(std::move(rec));
+  while (recent_.size() > kQueryLogCapacity) recent_.pop_front();
+}
+
+std::vector<QueryRecord> QueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryRecord>(recent_.rbegin(), recent_.rend());
+}
+
+bool QueryLog::FindProfile(uint64_t id, std::string* json) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    if (it->id == id) {
+      *json = it->profile_json;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string QueryLog::SummaryJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"queries\":[";
+  bool first = true;
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    if (!first) os << ",";
+    AppendSummary(os, *it);
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string QueryLog::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"queries\":[";
+  bool first = true;
+  for (const QueryRecord& r : recent_) {
+    if (!first) os << ",\n";
+    // Records always carry a document (the engine serializes one even for
+    // failed queries); guard anyway so a hand-pushed record cannot corrupt
+    // the dump.
+    if (r.profile_json.empty()) {
+      AppendSummary(os, r);
+    } else {
+      os << r.profile_json;
+    }
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+void QueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.clear();
+}
+
+const std::string& ProfileEnvPath() {
+  static const std::string path = [] {
+    const char* v = std::getenv("APQ_PROFILE");
+    if (v == nullptr || v[0] == '\0') return std::string();
+    if (!ValidateWritablePath(v)) {
+      std::fprintf(stderr,
+                   "apq: ignoring APQ_PROFILE=\"%s\": cannot open for "
+                   "writing; profile dump stays off\n",
+                   v);
+      return std::string();
+    }
+    return std::string(v);
+  }();
+  return path;
+}
+
+}  // namespace obs
+}  // namespace apq

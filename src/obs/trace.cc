@@ -13,7 +13,9 @@
 #include <x86intrin.h>
 #endif
 
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 
 namespace apq {
 namespace obs {
@@ -153,6 +155,18 @@ void ExportAtExit() {
     } else {
       std::fprintf(stderr, "apq: metrics export to \"%s\" failed: %s\n",
                    metrics_path.c_str(), std::strerror(errno));
+    }
+  }
+  const std::string& profile_path = ProfileEnvPath();
+  if (!profile_path.empty()) {
+    const std::string body = QueryLog::Global().DumpJson();
+    std::FILE* f = std::fopen(profile_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "apq: profile export to \"%s\" failed: %s\n",
+                   profile_path.c_str(), std::strerror(errno));
     }
   }
 }
@@ -311,8 +325,10 @@ void InitFromEnv() {
   static const bool once = [] {
     const bool trace = !TraceEnvPath().empty();
     const bool metrics = !MetricsEnvPath().empty();
+    const bool profile = !ProfileEnvPath().empty();
     if (trace) SetTraceEnabled(true);
-    if (trace || metrics) std::atexit(ExportAtExit);
+    if (trace || metrics || profile) std::atexit(ExportAtExit);
+    InitHttpFromEnv();
     return true;
   }();
   (void)once;

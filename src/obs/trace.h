@@ -152,11 +152,14 @@ const std::string& TraceEnvPath();
 /// selects MetricsRegistry JSON; anything else gets Prometheus text.
 const std::string& MetricsEnvPath();
 
-/// Reads APQ_TRACE / APQ_METRICS once: a valid APQ_TRACE enables collection
-/// and registers an atexit exporter that flushes the trace (and the metrics
-/// snapshot when APQ_METRICS is also set) when the process ends, so benches
-/// and examples get traces without Engine plumbing. Idempotent and cheap
-/// after the first call; the evaluator calls this from set_options.
+/// Reads APQ_TRACE / APQ_METRICS / APQ_PROFILE / APQ_HTTP once: a valid
+/// APQ_TRACE enables collection, and an atexit exporter flushes the trace,
+/// the metrics snapshot (APQ_METRICS), and the recent-query profile dump
+/// (APQ_PROFILE, obs/query_log.h) when the process ends, so benches and
+/// examples get observability without Engine plumbing. A valid APQ_HTTP
+/// starts the live introspection endpoint (obs/http_exporter.h). Idempotent
+/// and cheap after the first call; the evaluator calls this from
+/// set_options.
 void InitFromEnv();
 
 // ---- implementation details (header-inline for the hot-path branch) ----

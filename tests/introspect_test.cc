@@ -1,0 +1,517 @@
+// Live introspection: query-id allocation and scoping, the recent-query
+// log, structured profile JSON, the embedded HTTP exporter (routing table
+// and a live socket round-trip), and the engine-level contracts — lineage
+// entries match AdaptiveOutcome run counts exactly, error paths leave a
+// metric trail, and introspection never perturbs query results.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "exec/compare.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "plan/builder.h"
+#include "profile/profile_json.h"
+#include "workload/tpch.h"
+
+namespace apq {
+namespace {
+
+// ---- query ids --------------------------------------------------------------
+
+TEST(QueryIdTest, IdsAreMonotonicAndNeverZero) {
+  const uint64_t a = obs::NextQueryId();
+  const uint64_t b = obs::NextQueryId();
+  EXPECT_GT(a, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(QueryIdTest, ScopeInstallsAndRestoresNested) {
+  EXPECT_EQ(obs::CurrentQueryId(), 0u);
+  {
+    obs::QueryIdScope outer(7);
+    EXPECT_EQ(obs::CurrentQueryId(), 7u);
+    {
+      obs::QueryIdScope inner(9);
+      EXPECT_EQ(obs::CurrentQueryId(), 9u);
+    }
+    EXPECT_EQ(obs::CurrentQueryId(), 7u);
+  }
+  EXPECT_EQ(obs::CurrentQueryId(), 0u);
+}
+
+// ---- the recent-query log ---------------------------------------------------
+
+obs::QueryRecord MakeRecord(uint64_t id, const std::string& profile = "") {
+  obs::QueryRecord rec;
+  rec.id = id;
+  rec.kind = "plan";
+  rec.wall_ns = 100.0 * static_cast<double>(id);
+  rec.rows = id * 10;
+  rec.profile_json = profile;
+  return rec;
+}
+
+TEST(QueryLogTest, SnapshotIsNewestFirstAndRingEvicts) {
+  obs::QueryLog log;
+  for (uint64_t id = 1; id <= obs::kQueryLogCapacity + 5; ++id) {
+    log.Push(MakeRecord(id));
+  }
+  const auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), obs::kQueryLogCapacity);
+  EXPECT_EQ(snap.front().id, obs::kQueryLogCapacity + 5);  // newest first
+  EXPECT_EQ(snap.back().id, 6u);                           // oldest evicted
+
+  std::string json;
+  EXPECT_FALSE(log.FindProfile(1, &json));  // evicted
+  EXPECT_TRUE(log.FindProfile(obs::kQueryLogCapacity + 5, &json));
+  log.Clear();
+  EXPECT_TRUE(log.Snapshot().empty());
+}
+
+TEST(QueryLogTest, SummaryJsonCarriesScalarsButNotProfiles) {
+  obs::QueryLog log;
+  log.Push(MakeRecord(3, "{\"query_id\":3,\"secret\":true}"));
+  obs::QueryRecord err = MakeRecord(4);
+  err.status = "error";
+  err.error = "boom \"quoted\"";
+  log.Push(err);
+
+  const std::string summary = log.SummaryJson();
+  EXPECT_NE(summary.find("{\"queries\":["), std::string::npos);
+  EXPECT_NE(summary.find("\"id\":3"), std::string::npos);
+  EXPECT_NE(summary.find("\"id\":4"), std::string::npos);
+  EXPECT_NE(summary.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(summary.find("boom \\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(summary.find("secret"), std::string::npos);
+  // Newest first: id 4 before id 3.
+  EXPECT_LT(summary.find("\"id\":4"), summary.find("\"id\":3"));
+}
+
+TEST(QueryLogTest, DumpJsonEmbedsProfileDocumentsOldestFirst) {
+  obs::QueryLog log;
+  log.Push(MakeRecord(1, "{\"query_id\":1}"));
+  log.Push(MakeRecord(2, "{\"query_id\":2}"));
+  const std::string dump = log.DumpJson();
+  EXPECT_NE(dump.find("{\"queries\":["), std::string::npos);
+  EXPECT_LT(dump.find("\"query_id\":1"), dump.find("\"query_id\":2"));
+}
+
+// ---- profile JSON -----------------------------------------------------------
+
+OpProfile SyntheticOp() {
+  OpProfile op;
+  op.node_id = 4;
+  op.kind = OpKind::kSelect;
+  op.label = "sel(l_quantity)";
+  op.work_ns = 1000;
+  op.start_ns = 10;
+  op.end_ns = 250;
+  op.core = 2;
+  op.tuples_in = 100;
+  op.tuples_out = 40;
+  // Five morsels, wall times 10/20/30/40/50: exact p50 = 30, p95 = 48.
+  for (int i = 1; i <= 5; ++i) {
+    MorselMetrics m;
+    m.tuples_in = 20;
+    m.tuples_out = 8;
+    m.wall_ns = 10.0 * i;
+    m.worker = i % 2;
+    m.domain_begin = static_cast<uint64_t>(20 * (i - 1));
+    m.domain_end = static_cast<uint64_t>(20 * i);
+    op.morsels.push_back(m);
+  }
+  op.ComputeSkewFromMorsels();
+  return op;
+}
+
+TEST(ProfileJsonTest, MorselWallPercentilesAreExact) {
+  const OpProfile op = SyntheticOp();
+  EXPECT_DOUBLE_EQ(MorselWallPercentileNs(op, 0.50), 30.0);
+  EXPECT_DOUBLE_EQ(MorselWallPercentileNs(op, 0.95), 48.0);
+  EXPECT_DOUBLE_EQ(MorselWallPercentileNs(op, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(MorselWallPercentileNs(op, 1.0), 50.0);
+  OpProfile stripped = op;
+  stripped.morsels.clear();  // historical profiles drop the histogram
+  EXPECT_DOUBLE_EQ(MorselWallPercentileNs(stripped, 0.95), 0.0);
+}
+
+TEST(ProfileJsonTest, OpAndRunSerializeAllFields) {
+  RunProfile rp;
+  rp.ops.push_back(SyntheticOp());
+  rp.makespan_ns = 240;
+  rp.utilization = 0.5;
+  const std::string json = RunProfileJson(rp);
+  for (const char* needle :
+       {"\"makespan_ns\":240", "\"utilization\":0.5", "\"node_id\":4",
+        "\"kind\":\"select\"", "\"label\":\"sel(l_quantity)\"",
+        "\"wall_ns\":240", "\"tuples_in\":100, ", "\"num_morsels\":5",
+        "\"morsel_wall_p50_ns\":30", "\"morsel_wall_p95_ns\":48",
+        "\"domain_begin\":80"}) {
+    // The tuples_in needle would also match morsel entries; strip the
+    // trailing guard before searching.
+    std::string n(needle);
+    if (n.back() == ' ') n.pop_back();
+    EXPECT_NE(json.find(n), std::string::npos) << n << " in " << json;
+  }
+}
+
+TEST(ProfileJsonTest, QueryDocPlainVsAdaptive) {
+  QueryProfileDoc plain;
+  plain.query_id = 11;
+  plain.kind = "plan";
+  plain.wall_ns = 5000;
+  plain.rows = 42;
+  const std::string pj = QueryProfileJson(plain);
+  EXPECT_NE(pj.find("\"query_id\":11"), std::string::npos);
+  EXPECT_NE(pj.find("\"runs\":1"), std::string::npos);
+  EXPECT_NE(pj.find("\"mutations\":0"), std::string::npos);
+  EXPECT_NE(pj.find("\"adaptive\":null"), std::string::npos);
+  EXPECT_NE(pj.find("\"lineage\":[]"), std::string::npos);
+  EXPECT_NE(pj.find("\"profile\":null"), std::string::npos);
+
+  AdaptiveOutcome oc;
+  oc.total_runs = 2;
+  oc.serial_time_ns = 100;
+  oc.gme_time_ns = 50;
+  oc.gme_run = 1;
+  AdaptiveLineage l0;
+  l0.run = 0;
+  l0.victim = 4;
+  l0.action = "basic-skew";
+  l0.skew_aware = true;
+  l0.split_rows = {64, 192};
+  oc.lineage.push_back(l0);
+  AdaptiveLineage l1;
+  l1.run = 1;
+  oc.lineage.push_back(l1);
+
+  QueryProfileDoc doc;
+  doc.query_id = 12;
+  doc.kind = "adaptive";
+  doc.adaptive = &oc;
+  const std::string aj = QueryProfileJson(doc);
+  EXPECT_NE(aj.find("\"runs\":2"), std::string::npos);
+  EXPECT_NE(aj.find("\"mutations\":1"), std::string::npos);
+  EXPECT_NE(aj.find("\"speedup\":2"), std::string::npos);
+  EXPECT_NE(aj.find("\"action\":\"basic-skew\""), std::string::npos);
+  EXPECT_NE(aj.find("\"skew_aware\":true"), std::string::npos);
+  EXPECT_NE(aj.find("\"split_rows\":[64,192]"), std::string::npos);
+  EXPECT_NE(aj.find("\"action\":\"none\""), std::string::npos);
+}
+
+// ---- HTTP exporter: env parsing and routing ---------------------------------
+
+TEST(HttpExporterTest, ParseHttpPortIsStrict) {
+  EXPECT_EQ(obs::ParseHttpPort("9417"), 9417);
+  EXPECT_EQ(obs::ParseHttpPort("1"), 1);
+  EXPECT_EQ(obs::ParseHttpPort("65535"), 65535);
+  EXPECT_EQ(obs::ParseHttpPort("0"), -1);
+  EXPECT_EQ(obs::ParseHttpPort("65536"), -1);
+  EXPECT_EQ(obs::ParseHttpPort("-1"), -1);
+  EXPECT_EQ(obs::ParseHttpPort("80x"), -1);
+  EXPECT_EQ(obs::ParseHttpPort("abc"), -1);
+  EXPECT_EQ(obs::ParseHttpPort(""), -1);
+  EXPECT_EQ(obs::ParseHttpPort(nullptr), -1);
+}
+
+void Handle(const std::string& path, int* status, std::string* body) {
+  std::string content_type;
+  obs::HttpExporter::Handle(path, status, &content_type, body);
+}
+
+TEST(HttpExporterTest, RoutingTableServesEveryEndpoint) {
+  obs::MetricsRegistry::Global().GetCounter("introspect_route_counter")->Inc();
+  obs::QueryLog::Global().Clear();
+  obs::QueryRecord rec;
+  rec.id = 99999;
+  rec.kind = "plan";
+  rec.profile_json = "{\"query_id\":99999,\"marker\":\"deadbeef\"}";
+  obs::QueryLog::Global().Push(rec);
+
+  int status = 0;
+  std::string body;
+  Handle("/metrics", &status, &body);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("introspect_route_counter 1"), std::string::npos);
+
+  Handle("/metrics.json", &status, &body);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"counters\""), std::string::npos);
+
+  Handle("/healthz", &status, &body);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("ok"), std::string::npos);
+
+  Handle("/debug/queries", &status, &body);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"id\":99999"), std::string::npos);
+  EXPECT_EQ(body.find("deadbeef"), std::string::npos);  // summaries only
+
+  Handle("/debug/profile/99999", &status, &body);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"marker\":\"deadbeef\""), std::string::npos);
+
+  // Query strings are stripped before routing.
+  Handle("/metrics?scrape=1", &status, &body);
+  EXPECT_EQ(status, 200);
+
+  Handle("/debug/profile/123456789", &status, &body);
+  EXPECT_EQ(status, 404);
+  Handle("/debug/profile/notanumber", &status, &body);
+  EXPECT_EQ(status, 404);
+  Handle("/nope", &status, &body);
+  EXPECT_EQ(status, 404);
+  EXPECT_NE(body.find("/debug/queries"), std::string::npos);  // endpoint list
+  obs::QueryLog::Global().Clear();
+}
+
+// ---- HTTP exporter: live socket round-trip ----------------------------------
+
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  (void)!::send(fd, req.data(), req.size(), 0);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+TEST(HttpExporterTest, ServesOverARealSocket) {
+  obs::HttpExporter server;
+  ASSERT_TRUE(server.Start(0).ok());  // ephemeral port
+  ASSERT_TRUE(server.running());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+
+  // Idempotent while running (same port keeps quiet, different port warns).
+  EXPECT_TRUE(server.Start(port).ok());
+  EXPECT_EQ(server.port(), port);
+
+  const std::string health = HttpGet(port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  obs::MetricsRegistry::Global().GetCounter("introspect_live_counter")->Inc(5);
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(metrics.find("introspect_live_counter 5"), std::string::npos);
+
+  EXPECT_NE(HttpGet(port, "/nope").find("HTTP/1.1 404"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+  // Port is reusable after Stop.
+  obs::HttpExporter again;
+  ASSERT_TRUE(again.Start(0).ok());
+  again.Stop();
+}
+
+// ---- engine integration -----------------------------------------------------
+
+class IntrospectEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchConfig cfg;
+    cfg.lineitem_rows = 10'000;
+    cat_ = Tpch::Generate(cfg);
+  }
+  static EngineConfig SmallConfig() {
+    EngineConfig cfg = EngineConfig::WithSim(SimConfig::Cores(8, 4));
+    cfg.mutator.min_partition_rows = 64;
+    return cfg;
+  }
+  std::shared_ptr<Catalog> cat_;
+};
+
+TEST_F(IntrospectEngineTest, RunPlanAssignsIdsAndRecordsQueries) {
+  obs::QueryLog::Global().Clear();
+  Engine engine(SmallConfig());
+  auto q6 = Tpch::Q6(*cat_);
+  ASSERT_TRUE(q6.ok());
+  auto a = engine.RunSerial(q6.ValueOrDie());
+  auto b = engine.RunSerial(q6.ValueOrDie());
+  ASSERT_TRUE(a.ok() && b.ok());
+  const uint64_t ida = a.ValueOrDie().query_id;
+  const uint64_t idb = b.ValueOrDie().query_id;
+  EXPECT_GT(ida, 0u);
+  EXPECT_GT(idb, ida);
+
+  const auto snap = obs::QueryLog::Global().Snapshot();
+  ASSERT_GE(snap.size(), 2u);
+  EXPECT_EQ(snap[0].id, idb);  // newest first
+  EXPECT_EQ(snap[1].id, ida);
+  EXPECT_EQ(snap[0].kind, "plan");
+  EXPECT_EQ(snap[0].status, "ok");
+  EXPECT_EQ(snap[0].rows, b.ValueOrDie().result.NumRows());
+  EXPECT_EQ(snap[0].runs, 1);
+  EXPECT_GT(snap[0].wall_ns, 0.0);
+
+  std::string profile;
+  ASSERT_TRUE(obs::QueryLog::Global().FindProfile(ida, &profile));
+  EXPECT_NE(profile.find("\"query_id\":" + std::to_string(ida)),
+            std::string::npos);
+  EXPECT_NE(profile.find("\"kind\":\"plan\""), std::string::npos);
+  EXPECT_NE(profile.find("\"ops\":["), std::string::npos);
+}
+
+TEST_F(IntrospectEngineTest, AdaptiveLineageMatchesOutcomeExactly) {
+  obs::QueryLog::Global().Clear();
+  Engine engine(SmallConfig());
+  auto q6 = Tpch::Q6(*cat_);
+  ASSERT_TRUE(q6.ok());
+  auto out = engine.RunAdaptive(q6.ValueOrDie());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const AdaptiveOutcome& o = out.ValueOrDie();
+
+  // The acceptance invariant: one lineage entry per executed run, exactly.
+  ASSERT_EQ(o.lineage.size(), o.runs.size());
+  ASSERT_EQ(static_cast<int>(o.lineage.size()), o.total_runs);
+  EXPECT_GT(o.query_id, 0u);
+  int mutated = 0;
+  for (size_t i = 0; i < o.lineage.size(); ++i) {
+    const AdaptiveLineage& l = o.lineage[i];
+    EXPECT_EQ(l.run, static_cast<int>(i));
+    EXPECT_EQ(l.victim, o.runs[i].mutated_node);
+    EXPECT_DOUBLE_EQ(l.time_ns, o.runs[i].time_ns);
+    EXPECT_DOUBLE_EQ(l.wall_ns, o.runs[i].wall_ns);
+    EXPECT_EQ(l.skew_hint_ops, o.runs[i].skew_hint_ops);
+    if (!o.runs[i].mutation.empty()) EXPECT_EQ(l.action, o.runs[i].mutation);
+    if (l.action != "none") {
+      ++mutated;
+      EXPECT_GE(l.victim, 0);
+    } else {
+      EXPECT_TRUE(l.split_rows.empty());
+    }
+  }
+  EXPECT_GT(mutated, 0);  // Q6 at 10k rows always mutates at least once
+
+  // The recorded document agrees with the outcome.
+  const auto snap = obs::QueryLog::Global().Snapshot();
+  ASSERT_FALSE(snap.empty());
+  EXPECT_EQ(snap[0].id, o.query_id);
+  EXPECT_EQ(snap[0].kind, "adaptive");
+  EXPECT_EQ(snap[0].runs, o.total_runs);
+  EXPECT_EQ(snap[0].mutations, mutated);
+
+  std::string profile;
+  ASSERT_TRUE(obs::QueryLog::Global().FindProfile(o.query_id, &profile));
+  EXPECT_NE(profile.find("\"kind\":\"adaptive\""), std::string::npos);
+  EXPECT_NE(profile.find("\"total_runs\":" + std::to_string(o.total_runs)),
+            std::string::npos);
+  // All lineage entries serialized: count "\"run\": occurrences.
+  size_t runs_in_json = 0;
+  for (size_t pos = 0; (pos = profile.find("{\"run\":", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++runs_in_json;
+  }
+  EXPECT_EQ(runs_in_json, o.lineage.size());
+}
+
+TEST_F(IntrospectEngineTest, ErrorPathBumpsCounterAndRecordsError) {
+  obs::QueryLog::Global().Clear();
+  obs::Counter* errors =
+      obs::MetricsRegistry::Global().GetCounter("apq_query_errors_total");
+  const uint64_t before = errors->Value();
+
+  Engine engine(SmallConfig());
+  // LIKE on a non-string column fails inside the evaluator.
+  auto ints = Column::MakeInt64("ints", {1, 2, 3, 4});
+  PlanBuilder b("bad");
+  int sel = b.Select(ints.get(), Predicate::Like("x"));
+  auto out = engine.RunPlan(b.Result(sel));
+  ASSERT_FALSE(out.ok());
+
+  EXPECT_EQ(errors->Value(), before + 1);
+  const auto snap = obs::QueryLog::Global().Snapshot();
+  ASSERT_FALSE(snap.empty());
+  EXPECT_EQ(snap[0].status, "error");
+  EXPECT_FALSE(snap[0].error.empty());
+  EXPECT_EQ(snap[0].rows, 0u);
+
+  // The error surfaces in /debug/queries and the profile document.
+  int status = 0;
+  std::string body;
+  Handle("/debug/queries", &status, &body);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"status\":\"error\""), std::string::npos);
+  std::string profile;
+  ASSERT_TRUE(obs::QueryLog::Global().FindProfile(snap[0].id, &profile));
+  EXPECT_NE(profile.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(profile.find("\"profile\":null"), std::string::npos);
+}
+
+// Introspection must never perturb results: the same TPC-H query through
+// the engine with the HTTP exporter off vs on (and under concurrent
+// scraping) is bit-identical at every worker count.
+TEST_F(IntrospectEngineTest, ResultsBitIdenticalWithExporterOnVsOff) {
+  auto q6 = Tpch::Q6(*cat_);
+  ASSERT_TRUE(q6.ok());
+
+  for (int workers : {1, 2, 4, 8}) {
+    EngineConfig cfg = SmallConfig();
+    cfg.use_morsels = true;
+    cfg.morsel_rows = 512;
+    cfg.morsel_workers = workers;
+
+    Engine off_engine(cfg);
+    auto off = off_engine.RunSerial(q6.ValueOrDie());
+    ASSERT_TRUE(off.ok()) << "workers=" << workers;
+
+    obs::HttpExporter server;
+    ASSERT_TRUE(server.Start(0).ok());
+    std::atomic<bool> stop{false};
+    std::thread scraper([&] {
+      while (!stop.load()) {
+        HttpGet(server.port(), "/metrics");
+        HttpGet(server.port(), "/debug/queries");
+      }
+    });
+    Engine on_engine(cfg);
+    auto on = on_engine.RunSerial(q6.ValueOrDie());
+    stop.store(true);
+    scraper.join();
+    server.Stop();
+    ASSERT_TRUE(on.ok()) << "workers=" << workers;
+
+    EXPECT_EQ(DiffIntermediates(off.ValueOrDie().result,
+                                on.ValueOrDie().result),
+              "")
+        << "workers=" << workers << " (introspection changed results!)";
+    EXPECT_DOUBLE_EQ(off.ValueOrDie().time_ns, on.ValueOrDie().time_ns)
+        << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace apq

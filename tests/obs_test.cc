@@ -61,6 +61,40 @@ TEST(MetricsTest, HistogramPercentilesInterpolate) {
   EXPECT_DOUBLE_EQ(e.Percentile(0.5), 0.0);
 }
 
+TEST(MetricsTest, PercentileHardenedEdgeCases) {
+  // Empty: every quantile is a deterministic 0, never NaN or a stale bound.
+  obs::Histogram empty({1, 2, 4});
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(empty.Percentile(q), 0.0) << "q=" << q;
+  }
+
+  // Overflow-only: all observations beyond the last finite bound. Every
+  // rank lands in the +inf bucket, which reports the overflow lower bound
+  // (the last finite bound) rather than interpolating toward infinity.
+  obs::Histogram over({1, 2, 4});
+  over.Observe(100.0);
+  over.Observe(1e9);
+  for (double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(over.Percentile(q), 4.0) << "q=" << q;
+  }
+
+  // Out-of-range q clamps instead of reading past the distribution.
+  obs::Histogram u({10, 20});
+  u.Observe(5);
+  u.Observe(15);
+  EXPECT_DOUBLE_EQ(u.Percentile(-0.5), u.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(u.Percentile(1.5), u.Percentile(1.0));
+
+  // Single observation: every quantile interpolates within the one occupied
+  // bucket (accuracy is one bucket width by design), never outside it.
+  obs::Histogram one({10, 20});
+  one.Observe(12);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_GE(one.Percentile(q), 10.0) << "q=" << q;
+    EXPECT_LE(one.Percentile(q), 20.0) << "q=" << q;
+  }
+}
+
 TEST(MetricsTest, JsonAndPrometheusExportContainRegisteredNames) {
   auto& reg = obs::MetricsRegistry::Global();
   reg.GetCounter("obs_export_counter")->Inc(3);

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/trace_check.py (run by ctest as trace_check_py).
+
+Covers the exit-code contract the CI trace-smoke step relies on: 0 = valid
+trace, 1 = any structural failure (unreadable file, empty traceEvents,
+missing keys, bad ph/ts/dur, nesting violation, absent required category);
+plus the success-path summary line with its drop count.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import trace_check  # noqa: E402
+
+
+def span(name, cat, ts, dur, pid=1, tid=1):
+    return {"ph": "X", "name": name, "cat": cat, "pid": pid, "tid": tid,
+            "ts": ts, "dur": dur}
+
+
+def instant(name, cat, ts, pid=1, tid=1):
+    return {"ph": "i", "name": name, "cat": cat, "pid": pid, "tid": tid,
+            "ts": ts}
+
+
+def valid_trace():
+    # query > run > operator: the nesting hierarchy Perfetto renders.
+    return {
+        "traceEvents": [
+            span("query", "query", 0.0, 1000.0),
+            span("execute", "run", 10.0, 900.0),
+            span("select", "operator", 20.0, 400.0),
+            span("fetchjoin", "operator", 450.0, 400.0),
+            instant("steal", "steal", 500.0),
+        ],
+        "metadata": {"apq_dropped_events": 0},
+    }
+
+
+class TraceCheckTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, payload, raw=None, name="trace.json"):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w") as f:
+            if raw is not None:
+                f.write(raw)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_check(self, path, require_cats=()):
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            rc = trace_check.check(path, list(require_cats))
+        return rc, out.getvalue(), err.getvalue()
+
+    def run_main(self, argv):
+        old_argv = sys.argv
+        sys.argv = ["trace_check.py"] + argv
+        try:
+            out, err = io.StringIO(), io.StringIO()
+            with redirect_stdout(out), redirect_stderr(err):
+                return trace_check.main()
+        finally:
+            sys.argv = old_argv
+
+    def test_valid_trace_exits_zero(self):
+        path = self.write(valid_trace())
+        rc, out, _ = self.run_check(path)
+        self.assertEqual(rc, 0)
+        self.assertIn("trace_check: ok:", out)
+
+    def test_main_wires_require_cat(self):
+        path = self.write(valid_trace())
+        self.assertEqual(self.run_main([path, "--require-cat",
+                                        "query,operator"]), 0)
+        self.assertEqual(self.run_main([path, "--require-cat", "morsel"]), 1)
+
+    def test_missing_file_exits_one(self):
+        missing = os.path.join(self._dir.name, "nope.json")
+        rc, _, err = self.run_check(missing)
+        self.assertEqual(rc, 1)
+        self.assertIn("cannot load", err)
+
+    def test_malformed_json_exits_one(self):
+        path = self.write(None, raw="{not json")
+        self.assertEqual(self.run_check(path)[0], 1)
+
+    def test_empty_trace_events_exits_one(self):
+        rc, _, err = self.run_check(self.write({"traceEvents": []}))
+        self.assertEqual(rc, 1)
+        self.assertIn("empty", err)
+
+    def test_missing_required_key_exits_one(self):
+        trace = valid_trace()
+        del trace["traceEvents"][2]["cat"]
+        rc, _, err = self.run_check(self.write(trace))
+        self.assertEqual(rc, 1)
+        self.assertIn('missing key "cat"', err)
+
+    def test_bad_phase_and_negative_dur_exit_one(self):
+        trace = valid_trace()
+        trace["traceEvents"][0]["ph"] = "B"
+        self.assertEqual(self.run_check(self.write(trace))[0], 1)
+
+        trace = valid_trace()
+        trace["traceEvents"][1]["dur"] = -5.0
+        self.assertEqual(self.run_check(self.write(trace))[0], 1)
+
+    def test_nesting_violation_exits_one(self):
+        trace = valid_trace()
+        # An operator span that starts inside the run span but outlives it
+        # by far more than the tick-rounding epsilon.
+        trace["traceEvents"].append(
+            span("straddler", "operator", 800.0, 5000.0))
+        rc, _, err = self.run_check(self.write(trace))
+        self.assertEqual(rc, 1)
+        self.assertIn("without nesting", err)
+
+    def test_sibling_spans_do_not_trip_nesting(self):
+        # Two back-to-back operators under one run are fine even when they
+        # abut within the epsilon.
+        trace = valid_trace()
+        trace["traceEvents"].append(
+            span("select2", "operator", 850.1, 50.0))
+        self.assertEqual(self.run_check(self.write(trace))[0], 0)
+
+    def test_required_category_missing_exits_one(self):
+        path = self.write(valid_trace())
+        rc, _, err = self.run_check(path, require_cats=["morsel"])
+        self.assertEqual(rc, 1)
+        self.assertIn('required category "morsel"', err)
+
+    def test_summary_reports_drop_count(self):
+        trace = valid_trace()
+        trace["metadata"]["apq_dropped_events"] = 17
+        rc, out, _ = self.run_check(self.write(trace))
+        self.assertEqual(rc, 0)
+        self.assertIn("17 dropped", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
