@@ -14,11 +14,20 @@
 //                              registered instruments (what a scrape costs)
 //   - BM_MetricsJsonRender     /metrics.json render at the same sizes
 //   - BM_HandleDebugQueries    /debug/queries render with a full query ring
+//   - BM_ChargeSiteDisabled    the one relaxed load + branch every disabled
+//                              resource-accounting site pays
+//   - BM_ChargeTransient       peak-visible transient charge with accounting
+//                              on, query + operator blocks installed (the
+//                              kernel-output-growth hot path)
+//   - BM_BillTask              one scheduler task billed to its query and
+//                              operator (the task-epilogue hot path)
 //
 // The trajectory gate (tools/bench_trend.py vs BENCH_obs.json) watches
 // BM_SpanSiteDisabled and the render latencies: the disabled site must stay
 // in the ~1ns regime and a scrape must stay far below a morsel, or the
-// "observability never perturbs execution" story quietly rots.
+// "observability never perturbs execution" story quietly rots. The
+// accounting rows extend the same contract to resource_tracker.h: disabled
+// ~1ns, enabled a handful of relaxed atomic adds.
 //
 // Run: build/bench_obs [--benchmark_filter=...]
 #include <benchmark/benchmark.h>
@@ -29,6 +38,7 @@
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
+#include "obs/resource_tracker.h"
 #include "obs/trace.h"
 
 namespace apq {
@@ -162,6 +172,47 @@ void BM_HandleDebugQueries(benchmark::State& state) {
   obs::QueryLog::Global().Clear();
 }
 BENCHMARK(BM_HandleDebugQueries);
+
+void BM_ChargeSiteDisabled(benchmark::State& state) {
+  obs::SetAccountingEnabled(false);
+  for (auto _ : state) {
+    obs::ChargeTransient(4096);
+  }
+  obs::SetAccountingEnabled(true);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChargeSiteDisabled);
+
+void BM_ChargeTransient(benchmark::State& state) {
+  // The realistic shape: a query id and an operator block are installed, so
+  // the charge fans out to the query block, the operator block, and the
+  // process gauge — the kernel-output-growth path under a running query.
+  obs::SetAccountingEnabled(true);
+  const uint64_t qid = 0xBE7C0FFEE;
+  obs::QueryIdScope qid_scope(qid);
+  obs::OpAcct acct;
+  obs::OpAcctScope acct_scope(&acct);
+  for (auto _ : state) {
+    obs::ChargeTransient(4096);
+  }
+  obs::FinishQuery(qid);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChargeTransient);
+
+void BM_BillTask(benchmark::State& state) {
+  // The scheduler task epilogue: bill one finished morsel task's duration
+  // and queue-wait to its query and operator blocks.
+  obs::SetAccountingEnabled(true);
+  const uint64_t qid = 0xBE7C0FFEF;
+  obs::OpAcct acct;
+  for (auto _ : state) {
+    obs::BillTask(qid, &acct, 25000.0, 400.0);
+  }
+  obs::FinishQuery(qid);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BillTask);
 
 }  // namespace
 }  // namespace apq

@@ -5,6 +5,7 @@
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
+#include "obs/resource_tracker.h"
 #include "obs/trace.h"
 #include "profile/profile_json.h"
 #include "util/hash_clock.h"
@@ -43,8 +44,30 @@ void RecordQuery(const QueryProfileDoc& doc, int runs, int mutations) {
   rec.rows = doc.rows;
   rec.runs = runs;
   rec.mutations = mutations;
+  rec.peak_bytes = doc.peak_bytes;
+  rec.cpu_ns = doc.cpu_ns;
+  rec.queue_wait_ns = doc.queue_wait_ns;
   rec.profile_json = QueryProfileJson(doc);
   obs::QueryLog::Global().Push(std::move(rec));
+}
+
+// Folds query `qid`'s resource-accounting block into `doc` (peak bytes, CPU,
+// queue wait — zeros with accounting off) and retires the block. `workers` is
+// the parallel-efficiency denominator: the morsel-scheduler fleet size when
+// one exists, else 1 (whole-column execution runs on the calling thread).
+void SnapshotResources(uint64_t qid, const Evaluator& evaluator,
+                       QueryProfileDoc* doc) {
+  obs::QueryResources qr;
+  if (obs::SnapshotQueryResources(qid, &qr)) {
+    doc->peak_bytes = qr.peak_bytes;
+    doc->cpu_ns = static_cast<double>(qr.cpu_ns);
+    doc->queue_wait_ns = static_cast<double>(qr.queue_wait_ns);
+  }
+  const auto& sched = evaluator.morsel_scheduler();
+  doc->workers = (sched != nullptr && sched->num_workers() > 0)
+                     ? sched->num_workers()
+                     : 1;
+  obs::FinishQuery(qid);
 }
 
 }  // namespace
@@ -121,6 +144,7 @@ StatusOr<QueryRunResult> Engine::RunPlan(const QueryPlan& plan,
     doc.status = "error";
     doc.error = out.status().ToString();
   }
+  SnapshotResources(qid, evaluator_, &doc);
   RecordQuery(doc, /*runs=*/1, /*mutations=*/0);
   return out;
 }
@@ -180,6 +204,7 @@ StatusOr<AdaptiveOutcome> Engine::RunAdaptive(
     doc.status = "error";
     doc.error = out.status().ToString();
   }
+  SnapshotResources(qid, evaluator_, &doc);
   RecordQuery(doc, runs, mutations);
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/resource_tracker.h"
 #include "util/hash_clock.h"
 
 namespace apq {
@@ -41,6 +42,11 @@ size_t ParallelGroupBy(const int64_t* keys, uint64_t n,
     table_of[i] = t;
     mm[i] = MorselMetrics{ms.size(), ms.size(), NowNs() - t0, worker};
   });
+
+  // The thread-local tables are this operator's big working set; they stay
+  // live through the merge/relabel phases, then the guard releases them.
+  obs::ScopedMemCharge table_charge;
+  for (const AggTable& tab : tables) table_charge.Add(tab.byte_size());
 
   // Phase 2 — partitioned merge: each radix partition of the key hash is
   // merged by one worker, computing per key the minimum first-occurrence
@@ -262,6 +268,11 @@ size_t ParallelGroupedAgg(const int64_t* gids, uint64_t n,
                  &partials[i]);
     });
 
+    // nm * ngroups cells of 16 bytes, live until the merge below finishes.
+    obs::ScopedMemCharge partials_charge(
+        static_cast<uint64_t>(nm) * ngroups *
+        (sizeof(double) + sizeof(int64_t)));
+
     size_t nparts = static_cast<size_t>(sched.num_workers()) + 1;
     if (nparts > ngroups) nparts = ngroups;
     sched.ParallelFor(nparts, [&](size_t p, int) {
@@ -319,6 +330,10 @@ size_t ParallelGroupedAgg(const int64_t* gids, uint64_t n,
       pbuckets[i][gid * nparts / ngroups].push_back(s);
     }
   });
+
+  // Per-morsel hash partials, live until the merge below folds them.
+  obs::ScopedMemCharge partials_charge;
+  for (const AggTable& tab : partials) partials_charge.Add(tab.byte_size());
 
   // Phase 2 — merge: partition p owns the group ids with
   // gid * nparts / ngroups == p (a contiguous range), so each output slot is

@@ -14,9 +14,33 @@
 #include "exec/kernels.h"
 #include "exec/sort/merge.h"
 #include "obs/query_log.h"
+#include "obs/resource_tracker.h"
 #include "util/hash_clock.h"
 
+// CMake stamps the project version in; a bare compile (e.g. an IDE index
+// pass) still builds.
+#ifndef APQ_VERSION
+#define APQ_VERSION "dev"
+#endif
+
 namespace apq {
+
+void RegisterBuildInfo(simd::SimdLevel level) {
+  static const bool once = [level] {
+#ifdef NDEBUG
+    const char* build = "release";
+#else
+    const char* build = "debug";
+#endif
+    obs::MetricsRegistry::Global()
+        .GetGauge(std::string("apq_build_info{version=\"") + APQ_VERSION +
+                  "\",simd=\"" + simd::LevelName(level) + "\",build=\"" +
+                  build + "\"}")
+        ->Set(1);
+    return true;
+  }();
+  (void)once;
+}
 
 namespace {
 
@@ -445,10 +469,15 @@ size_t Evaluator::MorselSortPerm(const SortKeys& keys, uint64_t n,
     spans[r] = RunSpan{runs[r].data(), runs[r].size()};
     total += runs[r].size();
   }
+  // The run tasks charged their fragments durably; adopt the sum so one
+  // release covers them when the merge is done (error-path safe).
+  obs::ScopedMemCharge guard;
+  guard.AssumeCharged(total * sizeof(uint64_t));
   // Bounded top-N: the runs were clipped to their limit smallest, so the
   // merge sees at most runs x limit candidates and emits only limit rows.
   const uint64_t out_len = limit > 0 && limit < total ? limit : total;
   perm->resize(out_len);
+  guard.Add(out_len * sizeof(uint64_t));
   ParallelMergeRuns(spans, SortKeyLess{keys, descending}, o, out_len,
                     perm->data(), &mm);
   m->morsels = std::move(mm);
@@ -514,6 +543,11 @@ std::shared_ptr<HashIndex> Evaluator::GetOrBuildHash(const Column& column) {
   }
   std::call_once(slot->built, [&] {
     slot->index = HashIndex::Build(column, column.full_range());
+    // The index outlives this query (BAT-style cross-query cache): surface
+    // the build in the builder's peak, then park the steady-state bytes in
+    // the process-wide cache gauge instead of leaving per-query drift.
+    obs::ChargeTransient(slot->index->byte_size());
+    obs::AddHashCacheBytes(static_cast<int64_t>(slot->index->byte_size()));
     std::lock_guard<std::mutex> lock(hash_mu_);
     hash_builds_.emplace_back(&column, slot->index->num_keys());
   });
@@ -548,11 +582,17 @@ Status Evaluator::Execute(const QueryPlan& plan, EvalResult* out) {
                            static_cast<int64_t>(order.size()),
                            static_cast<int64_t>(obs::CurrentQueryId()));
   double t0 = NowNs();
-  if (options_.num_threads > 1) {
-    APQ_RETURN_NOT_OK(ExecuteParallel(plan, order, &slots, &done, &metrics));
-  } else {
-    APQ_RETURN_NOT_OK(ExecuteSerial(plan, order, &slots, &done, &metrics));
+  Status exec_st =
+      options_.num_threads > 1
+          ? ExecuteParallel(plan, order, &slots, &done, &metrics)
+          : ExecuteSerial(plan, order, &slots, &done, &metrics);
+  // Uncharge every materialized slot (ExecNode charged each completed
+  // node's output durable) before slots are moved out — on the error path
+  // too, so a failed query cannot leave drift behind.
+  for (int id : order) {
+    if (done[id]) obs::UnchargeBytes(slots[id].ByteSize());
   }
+  APQ_RETURN_NOT_OK(exec_st);
   out->wall_ns = NowNs() - t0;
 
   // Attribute hash-build cost to the topologically-first join over each
@@ -641,12 +681,17 @@ Status Evaluator::ExecuteParallel(const QueryPlan& plan,
 
   ExecContext ctx{slots, done};
 
+  // Pool workers have no query-id scope of their own; carry the submitting
+  // thread's id across so their charges and bills land on the right query.
+  const uint64_t query_id = obs::CurrentQueryId();
+
   // run_node executes one ready node on a worker, then (under the control
   // lock) retires it and collects consumers that became ready. All cross-
   // thread visibility of slots/done flows through ctl.mu: a consumer is only
   // scheduled after its producers published their slots under the lock.
   std::function<void(int)> schedule;
   std::function<void(int)> run_node = [&](int id) {
+    obs::QueryIdScope query_scope(query_id);
     bool skip;
     {
       std::lock_guard<std::mutex> lock(ctl.mu);
@@ -716,7 +761,36 @@ Status Evaluator::ExecNode(const QueryPlan& plan, const PlanNode& node,
   // the operator ran.
   obs::SpanScope span(obs::SpanKind::kOperator, OpKindName(node.kind),
                       node.id);
+  // Per-operator resource attribution (obs/resource_tracker.h): charges and
+  // task bills made while this node runs — on this thread or on scheduler
+  // workers, which re-install the block — land in `acct`. The block lives on
+  // this frame; ParallelFor drains every task before returning, so no
+  // billing outlives it.
+  obs::OpAcct acct;
+  obs::OpAcctScope acct_scope(obs::AccountingEnabled() ? &acct : nullptr);
+  const double t0 = NowNs();
   Status st = ExecNodeInner(plan, node, ctx, result, m);
+  const double node_wall = NowNs() - t0;
+  if (st.ok()) {
+    // The node's materialized output stays live until the Execute-level
+    // sweep uncharges every slot after the run.
+    obs::ChargeBytes(result->ByteSize());
+  }
+  if (obs::AccountingEnabled()) {
+    m->peak_bytes = acct.peak_bytes.load(std::memory_order_relaxed);
+    m->queue_wait_ns = acct.queue_wait_ns.load(std::memory_order_relaxed);
+    const uint64_t task_cpu = acct.cpu_ns.load(std::memory_order_relaxed);
+    if (acct.tasks.load(std::memory_order_relaxed) > 0) {
+      // Morselized: summed task time, billed to the query by the scheduler.
+      m->cpu_ns = task_cpu;
+    } else {
+      // Whole-column: never went through the scheduler, so the node wall IS
+      // the cpu — record it and bill the owning query directly.
+      m->cpu_ns = static_cast<uint64_t>(node_wall > 0 ? node_wall : 0);
+      obs::BillTask(obs::CurrentQueryId(), nullptr,
+                    static_cast<double>(m->cpu_ns), 0);
+    }
+  }
   span.set_args(node.id, static_cast<int64_t>(m->tuples_in),
                 static_cast<int64_t>(m->tuples_out));
   return st;

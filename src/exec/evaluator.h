@@ -27,6 +27,7 @@
 #include "exec/simd/simd_ops.h"
 #include "exec/sort/sort_runs.h"
 #include "obs/metrics.h"
+#include "obs/resource_tracker.h"
 #include "obs/trace.h"
 #include "plan/plan.h"
 #include "sched/morsel_scheduler.h"
@@ -48,6 +49,10 @@ struct OpMetrics {
   uint64_t random_working_set = 0;    // bytes of the randomly accessed region
   uint64_t hash_build_rows = 0;       // rows inserted into a new hash index
   uint64_t sort_rows = 0;             // rows sorted (n log n term)
+  uint64_t peak_bytes = 0;   // peak bytes charged while this operator ran
+  uint64_t cpu_ns = 0;       // summed task execution time (node wall when
+                             // the operator ran whole-column, no tasks)
+  uint64_t queue_wait_ns = 0;  // summed scheduler queue-wait of its tasks
   /// Per-morsel breakdown in morsel (= input) order; empty when the operator
   /// ran whole-column. Morsel tuple counts sum exactly to tuples_in/out.
   std::vector<MorselMetrics> morsels;
@@ -129,6 +134,13 @@ struct ExecOptions {
   bool adaptive_morsel_rows = true;
 };
 
+/// Registers the apq_build_info metric (constant 1, labeled with the
+/// version, the resolved SIMD dispatch tier, and the build type) once per
+/// process, so scraped fleets can correlate perf deltas with binaries.
+/// Called from set_options after SIMD resolution; later tier changes keep
+/// the first registration (one build = one info series).
+void RegisterBuildInfo(simd::SimdLevel level);
+
 /// \brief Interprets plans operator-at-a-time (like MonetDB's MAL
 /// interpreter). Hash indexes for join inners are cached across operators and
 /// across repeated invocations of the same Evaluator, mirroring BAT hash
@@ -165,6 +177,7 @@ class Evaluator {
     obs::MetricsRegistry::Global()
         .GetGauge("apq_simd_dispatch_level")
         ->Set(static_cast<int64_t>(simd_ops_->level));
+    RegisterBuildInfo(simd_ops_->level);
   }
   const ExecOptions& options() const { return options_; }
   void set_use_kernels(bool on) { options_.use_kernels = on; }
@@ -181,6 +194,12 @@ class Evaluator {
   /// race with an Execute that is building hashes.
   void ClearCaches() {
     std::lock_guard<std::mutex> lock(hash_mu_);
+    for (const auto& [col, slot] : hash_cache_) {
+      if (slot && slot->index) {
+        obs::AddHashCacheBytes(
+            -static_cast<int64_t>(slot->index->byte_size()));
+      }
+    }
     hash_cache_.clear();
   }
 

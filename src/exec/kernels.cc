@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/resource_tracker.h"
+
 namespace apq {
 
 namespace {
@@ -431,7 +433,13 @@ std::vector<uint8_t> BuildLikeMatch(const Column& col, const Predicate& p) {
 void SelectDense(const Column& col, RowRange range, const Predicate& pred,
                  const std::vector<uint8_t>* like_match, std::vector<oid>* out,
                  const simd::SimdOps* ops) {
-  if (TrySimdSelectDense(col, range, pred, like_match, out, ops)) return;
+  // One charge per kernel invocation (whole column or one morsel), never per
+  // row: the selection vector produced here is this call's working growth.
+  const size_t before = out->size();
+  if (TrySimdSelectDense(col, range, pred, like_match, out, ops)) {
+    obs::ChargeTransient((out->size() - before) * sizeof(oid));
+    return;
+  }
   if (col.type() == DataType::kFloat64) {
     const double* data = col.f64().data();
     DispatchF64(pred, [&](auto p) { DenseLoop(data, range.begin, range.end, p, out); });
@@ -440,6 +448,7 @@ void SelectDense(const Column& col, RowRange range, const Predicate& pred,
     DispatchI64(pred, like_match,
                 [&](auto p) { DenseLoop(data, range.begin, range.end, p, out); });
   }
+  obs::ChargeTransient((out->size() - before) * sizeof(oid));
 }
 
 void SelectCandidates(const Column& col, RowRange range, const Predicate& pred,
@@ -456,8 +465,10 @@ void SelectCandidatesSpan(const Column& col, RowRange range,
                           const oid* ids, size_t n, std::vector<oid>* out,
                           uint64_t* random_accesses, const simd::SimdOps* ops) {
   if (range.size() == 0) return;  // empty slice: every candidate clips away
+  const size_t before = out->size();
   if (TrySimdSelectCandidates(col, range, pred, like_match, ids, n, out,
                               random_accesses, ops)) {
+    obs::ChargeTransient((out->size() - before) * sizeof(oid));
     return;
   }
   if (col.type() == DataType::kFloat64) {
@@ -471,6 +482,7 @@ void SelectCandidatesSpan(const Column& col, RowRange range,
       CandidateLoop(data, ids, n, range, p, out, random_accesses);
     });
   }
+  obs::ChargeTransient((out->size() - before) * sizeof(oid));
 }
 
 Status GatherRows(const Column& col, const std::vector<oid>& ids,
@@ -491,6 +503,8 @@ Status GatherRowsSpan(const Column& col, const oid* ids, size_t n,
   } else {
     APQ_RETURN_NOT_OK(BoundsCheckIds(col, ids, n));
   }
+  const size_t before =
+      col.type() == DataType::kFloat64 ? values->f64.size() : values->i64.size();
   if (col.type() == DataType::kFloat64) {
     if (sliced) GatherClipped(col.f64().data(), ids, n, range, head, &values->f64);
     else GatherAll(col.f64().data(), ids, n, head, &values->f64, ops);
@@ -498,6 +512,9 @@ Status GatherRowsSpan(const Column& col, const oid* ids, size_t n,
     if (sliced) GatherClipped(col.i64().data(), ids, n, range, head, &values->i64);
     else GatherAll(col.i64().data(), ids, n, head, &values->i64, ops);
   }
+  const size_t after =
+      col.type() == DataType::kFloat64 ? values->f64.size() : values->i64.size();
+  obs::ChargeTransient((after - before) * (sizeof(int64_t) + sizeof(oid)));
   return Status::OK();
 }
 
@@ -517,6 +534,9 @@ Status GatherRowsAt(const Column& col, const oid* ids, size_t n,
     GatherAt(col.i64().data(), ids, n, head_dst, values->i64.data() + offset,
              ops);
   }
+  // The destination was pre-sized by the caller; record this task's span of
+  // it so per-morsel gathers surface in the peak like the span path does.
+  obs::ChargeTransient(n * (sizeof(int64_t) + sizeof(oid)));
   return Status::OK();
 }
 

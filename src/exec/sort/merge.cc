@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/resource_tracker.h"
 #include "util/hash_clock.h"
 
 namespace apq {
@@ -184,6 +185,9 @@ size_t ParallelMergeRuns(const std::vector<RunSpan>& runs,
           RunSpan{runs[r].data + bounds[j][r], bounds[j + 1][r] - bounds[j][r]};
     }
     MergeRuns(slices, less, out + out_begin, rows);
+    // This chunk's scratch (run slices + loser tree) plus its output span.
+    obs::ChargeTransient(slices.size() * sizeof(RunSpan) +
+                         rows * sizeof(uint64_t));
     mm[j] = MorselMetrics{0, rows, NowNs() - t0, worker};
   };
   if (opts.scheduler != nullptr && nchunks > 1) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/resource_tracker.h"
 #include "util/hash_clock.h"
 
 namespace apq {
@@ -55,6 +56,9 @@ size_t BuildSortRuns(const SortKeys& keys, uint64_t n,
     } else {
       std::sort(run.begin(), run.end(), less);
     }
+    // Durable: the run stays live until the merge consumes it; the caller
+    // (MorselSortPerm) adopts and releases the sum of all run charges.
+    obs::ChargeBytes(run.size() * sizeof(uint64_t));
     mm[i] = MorselMetrics{ms.size(), 0, NowNs() - t0, worker};
   });
 

@@ -26,11 +26,16 @@ constexpr int kPollMs = 100;
 // A request line longer than this is garbage; drop the connection.
 constexpr size_t kMaxRequestBytes = 4096;
 
-Counter* RequestsCounter() {
-  static Counter* c =
-      MetricsRegistry::Global().GetCounter("apq_http_requests_total");
-  return c;
+// Per-route request counters: apq_http_requests_total{route="..."}. The
+// route label is drawn from a fixed vocabulary (id-suffixed paths collapse
+// to "/debug/profile", everything unrecognized to "unknown") so a scanner
+// walking random paths cannot grow the registry without bound.
+Counter* RouteCounter(const char* route) {
+  return MetricsRegistry::Global().GetCounter(
+      std::string("apq_http_requests_total{route=\"") + route + "\"}");
 }
+
+std::atomic<std::string (*)()> g_workers_provider{nullptr};
 
 std::string StatusLine(int code) {
   switch (code) {
@@ -62,7 +67,6 @@ HttpExporter& HttpExporter::Global() {
 
 void HttpExporter::Handle(const std::string& raw_path, int* http_status,
                           std::string* content_type, std::string* body) {
-  RequestsCounter()->Inc();
   // Strip any query string: /metrics?x=y routes like /metrics.
   const size_t q = raw_path.find('?');
   const std::string path =
@@ -71,15 +75,18 @@ void HttpExporter::Handle(const std::string& raw_path, int* http_status,
   *http_status = 200;
   *content_type = "application/json";
   if (path == "/metrics") {
+    RouteCounter("/metrics")->Inc();
     *content_type = "text/plain; version=0.0.4; charset=utf-8";
     *body = MetricsRegistry::Global().ToPrometheus();
     return;
   }
   if (path == "/metrics.json") {
+    RouteCounter("/metrics.json")->Inc();
     *body = MetricsRegistry::Global().ToJson();
     return;
   }
   if (path == "/healthz") {
+    RouteCounter("/healthz")->Inc();
     std::ostringstream os;
     os.precision(15);
     os << "ok uptime_s=" << (NowNs() - g_start_ns) / 1e9 << "\n";
@@ -88,11 +95,19 @@ void HttpExporter::Handle(const std::string& raw_path, int* http_status,
     return;
   }
   if (path == "/debug/queries") {
+    RouteCounter("/debug/queries")->Inc();
     *body = QueryLog::Global().SummaryJson();
+    return;
+  }
+  if (path == "/debug/workers") {
+    RouteCounter("/debug/workers")->Inc();
+    std::string (*provider)() = g_workers_provider.load();
+    *body = provider != nullptr ? provider() : "{\"schedulers\":[]}";
     return;
   }
   const std::string profile_prefix = "/debug/profile/";
   if (path.rfind(profile_prefix, 0) == 0) {
+    RouteCounter("/debug/profile")->Inc();
     const std::string id_str = path.substr(profile_prefix.size());
     char* end = nullptr;
     errno = 0;
@@ -104,10 +119,11 @@ void HttpExporter::Handle(const std::string& raw_path, int* http_status,
     }
     return;
   }
+  RouteCounter("unknown")->Inc();
   *http_status = 404;
   *body = "{\"error\":\"not found\",\"endpoints\":[\"/metrics\","
           "\"/metrics.json\",\"/healthz\",\"/debug/queries\","
-          "\"/debug/profile/<id>\"]}";
+          "\"/debug/profile/<id>\",\"/debug/workers\"]}";
 }
 
 Status HttpExporter::Start(int port) {
@@ -219,6 +235,10 @@ void HttpExporter::Serve() {
     ::shutdown(fd, SHUT_WR);
     ::close(fd);
   }
+}
+
+void SetWorkersProvider(std::string (*provider)()) {
+  g_workers_provider.store(provider);
 }
 
 int ParseHttpPort(const char* value) {

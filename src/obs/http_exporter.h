@@ -11,6 +11,11 @@
 //   GET /debug/profile/<id>   one query's full profile document: per-op
 //                             wall/tuples/morsel skew plus the adaptive
 //                             lineage (profile/profile_json.h schema)
+//   GET /debug/workers        scheduler worker health: per-worker busy/idle
+//                             occupancy, steal success/failure counts, and
+//                             the flight-recorder pressure ring (provided by
+//                             sched/morsel_scheduler.h via
+//                             SetWorkersProvider)
 //
 // Design constraints, in order:
 //   1. Zero cost when off (the default): nothing is constructed, no thread,
@@ -76,6 +81,12 @@ class HttpExporter {
   int listen_fd_ = -1;
   int port_ = 0;
 };
+
+/// Installs the /debug/workers body provider. The scheduler layer sits
+/// above obs in the dependency order, so it injects its renderer here (a
+/// plain function pointer swapped atomically) instead of obs calling into
+/// sched. nullptr (the default) serves an empty scheduler list.
+void SetWorkersProvider(std::string (*provider)());
 
 /// Parses an APQ_HTTP-style port value: returns the port for "1".."65535",
 /// -1 for anything else (empty, garbage, out of range). Pure — exposed for

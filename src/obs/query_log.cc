@@ -1,7 +1,10 @@
 #include "obs/query_log.h"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "obs/trace.h"  // ValidateWritablePath
@@ -38,7 +41,9 @@ void AppendSummary(std::ostringstream& os, const QueryRecord& r) {
   JsonEscapeInto(os, r.error);
   os << "\",\"wall_ns\":" << r.wall_ns << ",\"time_ns\":" << r.time_ns
      << ",\"rows\":" << r.rows << ",\"runs\":" << r.runs
-     << ",\"mutations\":" << r.mutations << "}";
+     << ",\"mutations\":" << r.mutations
+     << ",\"peak_bytes\":" << r.peak_bytes << ",\"cpu_ns\":" << r.cpu_ns
+     << ",\"queue_wait_ns\":" << r.queue_wait_ns << "}";
 }
 
 }  // namespace
@@ -61,9 +66,10 @@ QueryLog& QueryLog::Global() {
 }
 
 void QueryLog::Push(QueryRecord rec) {
+  const size_t cap = QueryLogCapacity();
   std::lock_guard<std::mutex> lock(mu_);
   recent_.push_back(std::move(rec));
-  while (recent_.size() > kQueryLogCapacity) recent_.pop_front();
+  while (recent_.size() > cap) recent_.pop_front();
 }
 
 std::vector<QueryRecord> QueryLog::Snapshot() const {
@@ -120,6 +126,36 @@ std::string QueryLog::DumpJson() const {
 void QueryLog::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   recent_.clear();
+}
+
+size_t ParseQueryLogCapacity(const char* s) {
+  if (s == nullptr || *s == '\0') return 0;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return 0;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return 0;
+  if (v < 1 || v > (1ull << 20)) return 0;  // an absurd ring is a typo
+  return static_cast<size_t>(v);
+}
+
+size_t QueryLogCapacity() {
+  static const size_t cap = [] {
+    const char* env = std::getenv("APQ_QUERY_LOG");
+    if (env == nullptr || *env == '\0') return kQueryLogCapacity;
+    const size_t parsed = ParseQueryLogCapacity(env);
+    if (parsed == 0) {
+      std::fprintf(stderr,
+                   "apq: ignoring APQ_QUERY_LOG='%s' (want 1..1048576); "
+                   "query log keeps %zu entries\n",
+                   env, kQueryLogCapacity);
+      return kQueryLogCapacity;
+    }
+    return parsed;
+  }();
+  return cap;
 }
 
 const std::string& ProfileEnvPath() {

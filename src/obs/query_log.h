@@ -64,13 +64,26 @@ struct QueryRecord {
   uint64_t rows = 0;         // result cardinality
   int runs = 1;              // adaptive runs executed (1 for a plain plan)
   int mutations = 0;         // runs that mutated the plan
+  uint64_t peak_bytes = 0;   // peak charged bytes (obs/resource_tracker.h)
+  double cpu_ns = 0;         // summed task/operator execution time
+  double queue_wait_ns = 0;  // summed scheduler queue-wait
   /// The full per-query JSON document served by /debug/profile/<id>
   /// (profile/profile_json.h schema).
   std::string profile_json;
 };
 
-/// Queries remembered by the ring; older records are evicted.
+/// Default queries remembered by the ring; older records are evicted.
 constexpr size_t kQueryLogCapacity = 64;
+
+/// Parses an APQ_QUERY_LOG value: a plain decimal ring size in
+/// [1, 1048576]. Returns 0 on anything else (empty, non-numeric, zero,
+/// absurd) so the caller can warn and keep the default.
+size_t ParseQueryLogCapacity(const char* s);
+
+/// The ring capacity actually in effect: APQ_QUERY_LOG when set and valid
+/// (parsed once, warn-once on bad values — hardened like
+/// APQ_FORCE_MORSELS), kQueryLogCapacity otherwise.
+size_t QueryLogCapacity();
 
 /// \brief Fixed-capacity ring of recent queries, mutex-protected (pushes
 /// happen once per query, reads once per scrape — nowhere near a hot path).

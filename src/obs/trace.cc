@@ -16,6 +16,7 @@
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
+#include "obs/resource_tracker.h"
 
 namespace apq {
 namespace obs {
@@ -328,6 +329,7 @@ void InitFromEnv() {
     const bool profile = !ProfileEnvPath().empty();
     if (trace) SetTraceEnabled(true);
     if (trace || metrics || profile) std::atexit(ExportAtExit);
+    InitAccountingFromEnv();
     InitHttpFromEnv();
     return true;
   }();

@@ -59,6 +59,8 @@ std::string OpProfileJson(const OpProfile& op) {
      << ",\"wall_ns\":" << Finite(op.duration_ns())
      << ",\"core\":" << op.core << ",\"tuples_in\":" << op.tuples_in
      << ",\"tuples_out\":" << op.tuples_out
+     << ",\"peak_bytes\":" << op.peak_bytes << ",\"cpu_ns\":" << op.cpu_ns
+     << ",\"queue_wait_ns\":" << op.queue_wait_ns
      << ",\"num_morsels\":" << op.num_morsels
      << ",\"morsel_skew\":" << Finite(op.morsel_skew)
      << ",\"morsel_tuple_skew\":" << Finite(op.morsel_tuple_skew)
@@ -129,9 +131,18 @@ std::string QueryProfileJson(const QueryProfileDoc& doc) {
   EscapeInto(os, doc.status);
   os << "\",\"error\":\"";
   EscapeInto(os, doc.error);
+  // parallel_efficiency = cpu / (wall * workers): 1.0 = every worker busy
+  // for the whole query; 0 when the denominator is unknown.
+  const double denom = doc.wall_ns * static_cast<double>(doc.workers);
+  const double efficiency = denom > 0 ? doc.cpu_ns / denom : 0.0;
   os << "\",\"wall_ns\":" << Finite(doc.wall_ns)
      << ",\"time_ns\":" << Finite(doc.time_ns) << ",\"rows\":" << doc.rows
      << ",\"runs\":" << runs << ",\"mutations\":" << mutations
+     << ",\"peak_bytes\":" << doc.peak_bytes
+     << ",\"cpu_ns\":" << Finite(doc.cpu_ns)
+     << ",\"queue_wait_ns\":" << Finite(doc.queue_wait_ns)
+     << ",\"workers\":" << doc.workers
+     << ",\"parallel_efficiency\":" << Finite(efficiency)
      << ",\"adaptive\":";
   if (doc.adaptive == nullptr) {
     os << "null";

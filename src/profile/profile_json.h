@@ -11,6 +11,8 @@
 //   {"query_id": 7, "kind": "adaptive", "status": "ok", "error": "",
 //    "wall_ns": ..., "time_ns": ..., "rows": ..., "runs": R,
 //    "mutations": M,
+//    "peak_bytes": ..., "cpu_ns": ..., "queue_wait_ns": ...,
+//    "workers": W, "parallel_efficiency": ...,   // cpu/(wall*W), 0 unknown
 //    "adaptive": {"serial_time_ns":..., "gme_time_ns":..., "gme_run":...,
 //                 "best_run":..., "best_time_ns":..., "total_runs": R,
 //                 "skew_mutations":..., "speedup":...} | null,
@@ -22,7 +24,8 @@
 //                "ops": [{"node_id":..., "kind":"select", "label":"...",
 //                         "work_ns":..., "start_ns":..., "end_ns":...,
 //                         "wall_ns":..., "core":..., "tuples_in":...,
-//                         "tuples_out":..., "num_morsels":...,
+//                         "tuples_out":..., "peak_bytes":..., "cpu_ns":...,
+//                         "queue_wait_ns":..., "num_morsels":...,
 //                         "morsel_skew":..., "morsel_tuple_skew":...,
 //                         "morsel_wall_p50_ns":..., "morsel_wall_p95_ns":...,
 //                         "morsels":[{"tuples_in":..., "tuples_out":...,
@@ -73,6 +76,13 @@ struct QueryProfileDoc {
   double wall_ns = 0;
   double time_ns = 0;
   uint64_t rows = 0;
+  /// Resource accounting totals (obs/resource_tracker.h; 0 with accounting
+  /// off). `workers` is the morsel-scheduler worker count the query ran
+  /// with (0 unknown), the denominator of parallel_efficiency.
+  uint64_t peak_bytes = 0;
+  double cpu_ns = 0;
+  double queue_wait_ns = 0;
+  int workers = 0;
   const RunProfile* profile = nullptr;
   const AdaptiveOutcome* adaptive = nullptr;
 };

@@ -136,6 +136,9 @@ RunProfile MakeRunProfile(const QueryPlan& plan,
     op.core = timings[i].core;
     op.tuples_in = metrics[i].tuples_in;
     op.tuples_out = metrics[i].tuples_out;
+    op.peak_bytes = metrics[i].peak_bytes;
+    op.cpu_ns = metrics[i].cpu_ns;
+    op.queue_wait_ns = metrics[i].queue_wait_ns;
     op.morsels = metrics[i].morsels;
     op.ComputeSkewFromMorsels();
     rp.ops.push_back(op);

@@ -25,6 +25,12 @@ struct OpProfile {
   int core = -1;
   uint64_t tuples_in = 0;
   uint64_t tuples_out = 0;
+  /// Resource accounting (obs/resource_tracker.h; 0 with accounting off):
+  /// peak bytes charged while the operator ran, its summed task execution
+  /// time (node wall when whole-column), and summed scheduler queue-wait.
+  uint64_t peak_bytes = 0;
+  uint64_t cpu_ns = 0;
+  uint64_t queue_wait_ns = 0;
   /// Morsel-driven execution (0 = ran whole-column). morsel_skew is the max
   /// morsel wall-time over the mean (1 = perfectly balanced): the
   /// intra-operator skew signal the adaptive loop observes alongside the

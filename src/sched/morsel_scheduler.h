@@ -31,6 +31,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -43,6 +44,18 @@ namespace apq {
 struct MorselWorkerStats {
   uint64_t tasks = 0;   ///< morsel tasks this worker executed
   uint64_t steals = 0;  ///< of those, taken from another worker's deque
+  uint64_t steal_fails = 0;  ///< own deque dry AND nothing to steal (went idle)
+  uint64_t busy_ns = 0;      ///< wall time spent executing tasks
+};
+
+/// \brief One flight-recorder sample: a periodic snapshot of scheduler
+/// pressure, kept in a small ring so /debug/workers can show the recent
+/// load shape, not just lifetime totals.
+struct MorselFlightSample {
+  double t_ns = 0;        ///< sample time relative to scheduler start
+  uint64_t pending = 0;   ///< submitted-but-unclaimed tasks at sample time
+  uint64_t tasks = 0;     ///< lifetime tasks completed (workers + caller)
+  uint64_t steals = 0;    ///< lifetime successful steals
 };
 
 /// \brief Work-stealing morsel scheduler with per-worker deques.
@@ -78,8 +91,23 @@ class MorselScheduler {
   /// caller_tasks()).
   std::vector<MorselWorkerStats> worker_stats() const;
   uint64_t caller_tasks() const { return caller_tasks_.load(); }
+  uint64_t caller_busy_ns() const { return caller_busy_ns_.load(); }
   /// Total morsel tasks completed (workers + callers).
   uint64_t total_tasks() const;
+  /// Nanoseconds since this scheduler's workers were spawned.
+  double uptime_ns() const;
+
+  /// Oldest-first copy of the flight-recorder ring (pressure samples taken
+  /// at most every ~50ms while jobs are being submitted).
+  std::vector<MorselFlightSample> flight_samples() const;
+
+  /// This scheduler's worker-health document (one entry of /debug/workers).
+  std::string DebugJson() const;
+
+  /// The /debug/workers body: every live scheduler's DebugJson under
+  /// {"schedulers":[...]}. Installed as the HTTP exporter's workers
+  /// provider by the first scheduler constructed.
+  static std::string WorkersJson();
 
   /// A process-wide scheduler (hardware-sized) for callers that want the
   /// default shared fleet without wiring one through explicitly.
@@ -97,6 +125,8 @@ class MorselScheduler {
     std::deque<Task> dq;
     std::atomic<uint64_t> tasks{0};
     std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> steal_fails{0};
+    std::atomic<uint64_t> busy_ns{0};
   };
 
   void WorkerLoop(int w);
@@ -105,20 +135,37 @@ class MorselScheduler {
   /// came from — the steal trace event's a1.
   bool StealAny(int w, Task* out, int* victim = nullptr);
   bool PopForJob(Job* job, Task* out);
-  static void RunTask(const Task& t, int worker);
+  /// Runs the task (with the owning query's id + operator block installed),
+  /// bills its duration/queue-wait, and returns the execution time in ns so
+  /// the claiming side can accumulate busy time.
+  static double RunTask(const Task& t, int worker);
+  void MaybeSampleFlight();
 
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> caller_tasks_{0};
+  std::atomic<uint64_t> caller_busy_ns_{0};
   std::atomic<size_t> next_deal_{0};  // round-robin base for job distribution
+  double start_ns_ = 0;               // NowNs() at construction
+
+  // Flight recorder: a small ring of recent pressure samples, written by
+  // ParallelFor (rate-limited via flight_last_ns_ CAS) and copied whole by
+  // DebugJson. Sized for ~6s of history at the 50ms cadence.
+  static constexpr size_t kFlightCapacity = 128;
+  static constexpr double kFlightIntervalNs = 50e6;
+  mutable std::mutex flight_mu_;
+  std::deque<MorselFlightSample> flight_;
+  std::atomic<uint64_t> flight_last_ns_{0};
 
   // Registry instruments, resolved once per scheduler (metrics aggregate
   // across scheduler instances; tests diff before/after a quiescent run).
   // Always-on: one relaxed atomic add per task on top of the slot counters.
   std::vector<obs::Counter*> m_worker_tasks_;   // per worker index
   std::vector<obs::Counter*> m_worker_steals_;  // per worker index
+  std::vector<obs::Counter*> m_worker_busy_;    // per worker index, ns
   obs::Counter* m_tasks_ = nullptr;             // all claims (workers+caller)
   obs::Counter* m_steals_ = nullptr;
+  obs::Counter* m_steal_fails_ = nullptr;       // went idle with nothing left
   obs::Counter* m_caller_tasks_ = nullptr;
   obs::Gauge* m_queue_depth_ = nullptr;         // submitted-but-unclaimed
   obs::Histogram* m_steal_latency_ = nullptr;   // ns from own-deque-dry to

@@ -82,7 +82,10 @@ TEST(QueryLogTest, SnapshotIsNewestFirstAndRingEvicts) {
 
 TEST(QueryLogTest, SummaryJsonCarriesScalarsButNotProfiles) {
   obs::QueryLog log;
-  log.Push(MakeRecord(3, "{\"query_id\":3,\"secret\":true}"));
+  obs::QueryRecord ok = MakeRecord(3, "{\"query_id\":3,\"secret\":true}");
+  ok.peak_bytes = 12345;
+  ok.cpu_ns = 6789.0;
+  log.Push(ok);
   obs::QueryRecord err = MakeRecord(4);
   err.status = "error";
   err.error = "boom \"quoted\"";
@@ -92,6 +95,9 @@ TEST(QueryLogTest, SummaryJsonCarriesScalarsButNotProfiles) {
   EXPECT_NE(summary.find("{\"queries\":["), std::string::npos);
   EXPECT_NE(summary.find("\"id\":3"), std::string::npos);
   EXPECT_NE(summary.find("\"id\":4"), std::string::npos);
+  EXPECT_NE(summary.find("\"peak_bytes\":12345"), std::string::npos);
+  EXPECT_NE(summary.find("\"cpu_ns\":6789"), std::string::npos);
+  EXPECT_NE(summary.find("\"queue_wait_ns\":"), std::string::npos);
   EXPECT_NE(summary.find("\"status\":\"error\""), std::string::npos);
   EXPECT_NE(summary.find("boom \\\"quoted\\\""), std::string::npos);
   EXPECT_EQ(summary.find("secret"), std::string::npos);
@@ -267,6 +273,12 @@ TEST(HttpExporterTest, RoutingTableServesEveryEndpoint) {
   Handle("/metrics?scrape=1", &status, &body);
   EXPECT_EQ(status, 200);
 
+  // Worker telemetry: always answers, with an empty scheduler list until a
+  // MorselScheduler installs itself as the provider.
+  Handle("/debug/workers", &status, &body);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"schedulers\":["), std::string::npos);
+
   Handle("/debug/profile/123456789", &status, &body);
   EXPECT_EQ(status, 404);
   Handle("/debug/profile/notanumber", &status, &body);
@@ -274,7 +286,55 @@ TEST(HttpExporterTest, RoutingTableServesEveryEndpoint) {
   Handle("/nope", &status, &body);
   EXPECT_EQ(status, 404);
   EXPECT_NE(body.find("/debug/queries"), std::string::npos);  // endpoint list
+  EXPECT_NE(body.find("/debug/workers"), std::string::npos);
   obs::QueryLog::Global().Clear();
+}
+
+TEST(HttpExporterTest, RequestsAreCountedPerRoute) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Counter* metrics_c =
+      reg.GetCounter("apq_http_requests_total{route=\"/metrics\"}");
+  obs::Counter* workers_c =
+      reg.GetCounter("apq_http_requests_total{route=\"/debug/workers\"}");
+  obs::Counter* unknown_c =
+      reg.GetCounter("apq_http_requests_total{route=\"unknown\"}");
+  obs::Counter* profile_c =
+      reg.GetCounter("apq_http_requests_total{route=\"/debug/profile\"}");
+  const uint64_t m0 = metrics_c->Value();
+  const uint64_t w0 = workers_c->Value();
+  const uint64_t u0 = unknown_c->Value();
+  const uint64_t p0 = profile_c->Value();
+
+  int status = 0;
+  std::string body;
+  Handle("/metrics", &status, &body);
+  Handle("/metrics", &status, &body);
+  Handle("/debug/workers", &status, &body);
+  Handle("/debug/profile/987654321", &status, &body);  // 404 still counted
+  Handle("/wat", &status, &body);
+  Handle("/also-wat", &status, &body);  // unrecognized paths share one label
+
+  EXPECT_EQ(metrics_c->Value(), m0 + 2);
+  EXPECT_EQ(workers_c->Value(), w0 + 1);
+  EXPECT_EQ(profile_c->Value(), p0 + 1);
+  EXPECT_EQ(unknown_c->Value(), u0 + 2);
+}
+
+TEST(HttpExporterTest, MetricsExposeBuildInfoAfterEvaluatorInit) {
+  // Constructing an evaluator registers apq_build_info with its resolved
+  // SIMD tier; the constant-1 gauge carries version/simd/build as labels.
+  Evaluator ev{ExecOptions{}};
+  int status = 0;
+  std::string body;
+  Handle("/metrics", &status, &body);
+  EXPECT_EQ(status, 200);
+  const size_t pos = body.find("apq_build_info{");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string line = body.substr(pos, body.find('\n', pos) - pos);
+  EXPECT_NE(line.find("version=\""), std::string::npos) << line;
+  EXPECT_NE(line.find("simd=\""), std::string::npos) << line;
+  EXPECT_NE(line.find("build=\""), std::string::npos) << line;
+  EXPECT_NE(line.find("} 1"), std::string::npos) << line;
 }
 
 // ---- HTTP exporter: live socket round-trip ----------------------------------

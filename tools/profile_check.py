@@ -12,15 +12,18 @@ unparseable input.
 Checks per document:
   * scalar envelope: positive integer query_id, kind in {plan, adaptive},
     status in {ok, error} (error implies a non-empty error message),
-    non-negative wall_ns/time_ns/rows/runs/mutations;
+    non-negative wall_ns/time_ns/rows/runs/mutations and the resource
+    accounting fields (peak_bytes/cpu_ns/queue_wait_ns/workers/
+    parallel_efficiency — zeros with accounting off);
   * lineage: a list; for a successful adaptive query exactly `runs` entries
     (the AdaptiveOutcome invariant), each with run/time_ns/skew fields, a
     victim, an action, and ascending split_rows; `mutations` equals the
     count of entries whose action is not "none"; plain queries have [];
   * profile: null or an object with makespan_ns/utilization and an "ops"
-    list whose entries carry the per-operator fields (wall, tuples, morsel
-    count/skews, p50/p95) and a "morsels" histogram list (possibly empty —
-    historical profiles are stripped).
+    list whose entries carry the per-operator fields (wall, tuples,
+    peak_bytes/cpu_ns/queue_wait_ns, morsel count/skews, p50/p95) and a
+    "morsels" histogram list (possibly empty — historical profiles are
+    stripped).
 
 Prints a one-line summary (documents, runs, mutations) on success.
 """
@@ -29,11 +32,14 @@ import argparse
 import json
 import sys
 
-DOC_NUMBERS = ("wall_ns", "time_ns", "rows", "runs", "mutations")
+DOC_NUMBERS = ("wall_ns", "time_ns", "rows", "runs", "mutations",
+               "peak_bytes", "cpu_ns", "queue_wait_ns", "workers",
+               "parallel_efficiency")
 LINEAGE_NUMBERS = ("run", "time_ns", "wall_ns", "max_morsel_skew",
                    "max_morsel_tuple_skew", "skew_hint_ops", "victim")
 OP_NUMBERS = ("node_id", "work_ns", "start_ns", "end_ns", "wall_ns", "core",
-              "tuples_in", "tuples_out", "num_morsels", "morsel_skew",
+              "tuples_in", "tuples_out", "peak_bytes", "cpu_ns",
+              "queue_wait_ns", "num_morsels", "morsel_skew",
               "morsel_tuple_skew", "morsel_wall_p50_ns", "morsel_wall_p95_ns")
 MORSEL_NUMBERS = ("tuples_in", "tuples_out", "wall_ns", "worker",
                   "domain_begin", "domain_end")

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/profile_check.py (run by ctest as profile_check_py).
+
+Covers the exit-code contract the CI profile-smoke step relies on: 0 =
+schema-valid, 1 = any schema violation (bad envelope scalars, missing
+resource-accounting fields, lineage/mutation mismatch, malformed ops),
+2 = unreadable or unparseable input; plus the success-path summary line
+and the --require-adaptive / --min-queries knobs.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import profile_check  # noqa: E402
+
+
+def op(node_id=0, kind="select"):
+    return {"node_id": node_id, "kind": kind, "label": "l_qty < 24",
+            "work_ns": 1000.0, "start_ns": 0.0, "end_ns": 500.0,
+            "wall_ns": 500.0, "core": 0, "tuples_in": 6000,
+            "tuples_out": 1200, "peak_bytes": 4800, "cpu_ns": 450.0,
+            "queue_wait_ns": 10.0, "num_morsels": 2, "morsel_skew": 1.1,
+            "morsel_tuple_skew": 1.0, "morsel_wall_p50_ns": 200.0,
+            "morsel_wall_p95_ns": 300.0,
+            "morsels": [{"tuples_in": 3000, "tuples_out": 600,
+                         "wall_ns": 250.0, "worker": 0,
+                         "domain_begin": 0, "domain_end": 3000},
+                        {"tuples_in": 3000, "tuples_out": 600,
+                         "wall_ns": 250.0, "worker": 1,
+                         "domain_begin": 3000, "domain_end": 6000}]}
+
+
+def lineage_entry(run, action="none", victim=-1, split_rows=None):
+    return {"run": run, "time_ns": 1000.0, "wall_ns": 900.0,
+            "max_morsel_skew": 1.2, "max_morsel_tuple_skew": 1.0,
+            "skew_hint_ops": 0, "victim": victim, "action": action,
+            "skew_aware": True, "split_rows": split_rows or []}
+
+
+def plan_doc(query_id=1):
+    return {"query_id": query_id, "kind": "plan", "status": "ok",
+            "error": "", "wall_ns": 1000.0, "time_ns": 800.0, "rows": 1200,
+            "runs": 1, "mutations": 0, "peak_bytes": 9600, "cpu_ns": 700.0,
+            "queue_wait_ns": 15.0, "workers": 4,
+            "parallel_efficiency": 0.175, "adaptive": None, "lineage": [],
+            "profile": {"makespan_ns": 1000.0, "utilization": 0.5,
+                        "ops": [op()]}}
+
+
+def adaptive_doc(query_id=2):
+    doc = plan_doc(query_id)
+    doc["kind"] = "adaptive"
+    doc["runs"] = 2
+    doc["mutations"] = 1
+    doc["adaptive"] = {"serial_time_ns": 2000.0, "gme_time_ns": 800.0,
+                       "gme_run": 1, "best_run": 1, "best_time_ns": 800.0,
+                       "total_runs": 2, "skew_mutations": 0,
+                       "speedup": 2.5}
+    doc["lineage"] = [lineage_entry(0, "basic", victim=0,
+                                    split_rows=[1000, 2000]),
+                      lineage_entry(1)]
+    return doc
+
+
+class ProfileCheckTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, payload, raw=None, name="profile.json"):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w") as f:
+            if raw is not None:
+                f.write(raw)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_check(self, path, **kwargs):
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            rc = profile_check.check(path, **kwargs)
+        return rc, out.getvalue(), err.getvalue()
+
+    def run_main(self, argv):
+        old_argv = sys.argv
+        sys.argv = ["profile_check.py"] + argv
+        try:
+            out, err = io.StringIO(), io.StringIO()
+            with redirect_stdout(out), redirect_stderr(err):
+                return profile_check.main()
+        finally:
+            sys.argv = old_argv
+
+    def test_single_document_exits_zero(self):
+        rc, out, _ = self.run_check(self.write(plan_doc()))
+        self.assertEqual(rc, 0)
+        self.assertIn("profile_check: ok:", out)
+
+    def test_dump_with_queries_list_exits_zero(self):
+        dump = {"queries": [plan_doc(1), adaptive_doc(2)]}
+        rc, out, _ = self.run_check(self.write(dump))
+        self.assertEqual(rc, 0)
+        self.assertIn("2 document(s) (1 adaptive)", out)
+
+    def test_main_wires_flags(self):
+        dump = {"queries": [plan_doc(1)]}
+        path = self.write(dump)
+        self.assertEqual(self.run_main([path]), 0)
+        self.assertEqual(self.run_main([path, "--require-adaptive"]), 1)
+        self.assertEqual(self.run_main([path, "--min-queries", "2"]), 1)
+
+    def test_missing_file_exits_two(self):
+        missing = os.path.join(self._dir.name, "nope.json")
+        rc, _, err = self.run_check(missing)
+        self.assertEqual(rc, 2)
+        self.assertIn("cannot load", err)
+
+    def test_malformed_json_exits_two(self):
+        self.assertEqual(self.run_check(self.write(None, raw="{no"))[0], 2)
+
+    def test_missing_resource_field_exits_one(self):
+        doc = plan_doc()
+        del doc["peak_bytes"]
+        rc, _, err = self.run_check(self.write(doc))
+        self.assertEqual(rc, 1)
+        self.assertIn("peak_bytes", err)
+
+    def test_missing_op_resource_field_exits_one(self):
+        doc = plan_doc()
+        del doc["profile"]["ops"][0]["cpu_ns"]
+        rc, _, err = self.run_check(self.write(doc))
+        self.assertEqual(rc, 1)
+        self.assertIn("cpu_ns", err)
+
+    def test_negative_resource_field_exits_one(self):
+        doc = plan_doc()
+        doc["queue_wait_ns"] = -1.0
+        self.assertEqual(self.run_check(self.write(doc))[0], 1)
+
+    def test_bad_query_id_exits_one(self):
+        doc = plan_doc()
+        doc["query_id"] = 0
+        self.assertEqual(self.run_check(self.write(doc))[0], 1)
+
+    def test_error_status_requires_message(self):
+        doc = plan_doc()
+        doc["status"] = "error"
+        self.assertEqual(self.run_check(self.write(doc))[0], 1)
+        doc["error"] = "boom"
+        doc["profile"] = None
+        self.assertEqual(self.run_check(self.write(doc))[0], 0)
+
+    def test_lineage_run_count_mismatch_exits_one(self):
+        doc = adaptive_doc()
+        doc["runs"] = 3
+        rc, _, err = self.run_check(self.write(doc))
+        self.assertEqual(rc, 1)
+        self.assertIn("lineage entries", err)
+
+    def test_mutation_count_mismatch_exits_one(self):
+        doc = adaptive_doc()
+        doc["mutations"] = 2
+        rc, _, err = self.run_check(self.write(doc))
+        self.assertEqual(rc, 1)
+        self.assertIn("mutated", err)
+
+    def test_unsorted_split_rows_exit_one(self):
+        doc = adaptive_doc()
+        doc["lineage"][0]["split_rows"] = [2000, 1000]
+        self.assertEqual(self.run_check(self.write(doc))[0], 1)
+
+    def test_stripped_morsels_are_valid(self):
+        doc = plan_doc()
+        doc["profile"]["ops"][0]["morsels"] = []
+        self.assertEqual(self.run_check(self.write(doc))[0], 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

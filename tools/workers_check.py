@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate APQ worker telemetry JSON (GET /debug/workers).
+
+Usage:
+    tools/workers_check.py [workers.json] [--min-schedulers N]
+
+Reads the /debug/workers body from the named file, or from stdin when no
+file is given (so CI can pipe `curl .../debug/workers` straight in). Exit
+codes mirror bench_trend.py: 0 = consistent, 1 = consistency violation,
+2 = unreadable or unparseable input.
+
+Checks per scheduler:
+  * envelope: non-negative workers/uptime_ns/pending/caller_tasks/
+    caller_busy_ns/total_tasks, worker_list length == workers;
+  * per worker: non-negative counters, steals <= tasks (a steal IS a task),
+    busy_ns <= uptime_ns (+5% slack for the unsynchronized reads),
+    busy_ns + idle_ns <= uptime_ns (+5% slack) -- occupancy cannot exceed
+    the scheduler's wall-clock life;
+  * totals: sum(worker tasks) + caller_tasks ~= total_tasks (the counters
+    are read at slightly different instants mid-run, so a small drift
+    window is tolerated);
+  * flight recorder: t_ns strictly ascending, tasks/steals monotonically
+    non-decreasing (cumulative counters never go backwards).
+
+Prints a one-line summary (schedulers, workers, tasks, steals) on success.
+"""
+
+import argparse
+import json
+import sys
+
+SCHED_NUMBERS = ("workers", "uptime_ns", "pending", "caller_tasks",
+                 "caller_busy_ns", "total_tasks")
+WORKER_NUMBERS = ("worker", "tasks", "steals", "steal_fails", "busy_ns",
+                  "idle_ns")
+FLIGHT_NUMBERS = ("t_ns", "pending", "tasks", "steals")
+
+# Worker occupancy is read without stopping the fleet; allow a small
+# overshoot before calling uptime-vs-busy inconsistent.
+SLACK = 1.05
+
+
+def fail(msg):
+    print("workers_check: FAIL: %s" % msg, file=sys.stderr)
+    return 1
+
+
+def check_numbers(obj, keys, where):
+    for key in keys:
+        v = obj.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            return '%s: "%s" missing or not a number (%r)' % (where, key, v)
+        if v < 0:
+            return '%s: "%s" is negative (%r)' % (where, key, v)
+    return None
+
+
+def check_scheduler(sched, where):
+    if not isinstance(sched, dict):
+        return "%s: not an object" % where
+    err = check_numbers(sched, SCHED_NUMBERS, where)
+    if err:
+        return err
+    workers = sched.get("worker_list")
+    if not isinstance(workers, list):
+        return '%s: "worker_list" missing or not a list' % where
+    if len(workers) != sched["workers"]:
+        return "%s: %d worker_list entries for %d workers" % (
+            where, len(workers), sched["workers"])
+    uptime = sched["uptime_ns"]
+    worker_tasks = 0
+    for i, w in enumerate(workers):
+        here = "%s worker_list[%d]" % (where, i)
+        if not isinstance(w, dict):
+            return "%s: not an object" % here
+        err = check_numbers(w, WORKER_NUMBERS, here)
+        if err:
+            return err
+        if w["worker"] != i:
+            return "%s: worker %r out of order" % (here, w["worker"])
+        if w["steals"] > w["tasks"]:
+            return "%s: %d steals exceed %d tasks" % (
+                here, w["steals"], w["tasks"])
+        if w["busy_ns"] > uptime * SLACK:
+            return "%s: busy_ns %d exceeds scheduler uptime %d" % (
+                here, w["busy_ns"], uptime)
+        if w["busy_ns"] + w["idle_ns"] > uptime * SLACK:
+            return "%s: busy+idle %d exceeds scheduler uptime %d" % (
+                here, w["busy_ns"] + w["idle_ns"], uptime)
+        worker_tasks += w["tasks"]
+    # The per-worker counters, caller_tasks, and total_tasks are separate
+    # relaxed reads taken microseconds apart while the fleet keeps running;
+    # only tasks completing inside that window can drift the sum.
+    total = sched["total_tasks"]
+    drift = abs(worker_tasks + sched["caller_tasks"] - total)
+    if drift > max(64, total * (SLACK - 1)):
+        return "%s: worker tasks %d + caller %d vs total_tasks %d" % (
+            where, worker_tasks, sched["caller_tasks"], total)
+    flight = sched.get("flight")
+    if not isinstance(flight, list):
+        return '%s: "flight" missing or not a list' % where
+    for i, f in enumerate(flight):
+        here = "%s flight[%d]" % (where, i)
+        if not isinstance(f, dict):
+            return "%s: not an object" % here
+        err = check_numbers(f, FLIGHT_NUMBERS, here)
+        if err:
+            return err
+        if i > 0:
+            prev = flight[i - 1]
+            if f["t_ns"] <= prev["t_ns"]:
+                return "%s: t_ns not ascending" % here
+            if f["tasks"] < prev["tasks"] or f["steals"] < prev["steals"]:
+                return "%s: cumulative counter went backwards" % here
+    return None
+
+
+def check(path, min_schedulers=0):
+    try:
+        if path is None or path == "-":
+            data = json.load(sys.stdin)
+        else:
+            with open(path) as f:
+                data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("workers_check: cannot load %s: %s" % (path or "<stdin>", e),
+              file=sys.stderr)
+        return 2
+
+    if not isinstance(data, dict):
+        return fail("top level is not an object")
+    scheds = data.get("schedulers")
+    if not isinstance(scheds, list):
+        return fail('"schedulers" missing or not a list')
+    if len(scheds) < min_schedulers:
+        return fail("%d scheduler(s), expected at least %d" % (
+            len(scheds), min_schedulers))
+
+    workers = tasks = steals = 0
+    for i, sched in enumerate(scheds):
+        err = check_scheduler(sched, "schedulers[%d]" % i)
+        if err:
+            return fail(err)
+        workers += sched["workers"]
+        tasks += sched["total_tasks"]
+        steals += sum(w["steals"] for w in sched["worker_list"])
+
+    print("workers_check: ok: %d scheduler(s), %d worker(s), %d task(s), "
+          "%d steal(s)" % (len(scheds), workers, tasks, steals))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate APQ /debug/workers telemetry JSON.")
+    ap.add_argument("workers", nargs="?", default=None,
+                    help="a /debug/workers body (default: stdin)")
+    ap.add_argument("--min-schedulers", type=int, default=0,
+                    help="minimum number of schedulers (default 0)")
+    args = ap.parse_args()
+    return check(args.workers, args.min_schedulers)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
