@@ -36,6 +36,7 @@ Counter* RouteCounter(const char* route) {
 }
 
 std::atomic<std::string (*)()> g_workers_provider{nullptr};
+std::atomic<std::string (*)()> g_service_provider{nullptr};
 
 std::string StatusLine(int code) {
   switch (code) {
@@ -105,6 +106,12 @@ void HttpExporter::Handle(const std::string& raw_path, int* http_status,
     *body = provider != nullptr ? provider() : "{\"schedulers\":[]}";
     return;
   }
+  if (path == "/debug/service") {
+    RouteCounter("/debug/service")->Inc();
+    std::string (*provider)() = g_service_provider.load();
+    *body = provider != nullptr ? provider() : "{\"services\":[]}";
+    return;
+  }
   const std::string profile_prefix = "/debug/profile/";
   if (path.rfind(profile_prefix, 0) == 0) {
     RouteCounter("/debug/profile")->Inc();
@@ -123,7 +130,7 @@ void HttpExporter::Handle(const std::string& raw_path, int* http_status,
   *http_status = 404;
   *body = "{\"error\":\"not found\",\"endpoints\":[\"/metrics\","
           "\"/metrics.json\",\"/healthz\",\"/debug/queries\","
-          "\"/debug/profile/<id>\",\"/debug/workers\"]}";
+          "\"/debug/profile/<id>\",\"/debug/workers\",\"/debug/service\"]}";
 }
 
 Status HttpExporter::Start(int port) {
@@ -239,6 +246,10 @@ void HttpExporter::Serve() {
 
 void SetWorkersProvider(std::string (*provider)()) {
   g_workers_provider.store(provider);
+}
+
+void SetServiceProvider(std::string (*provider)()) {
+  g_service_provider.store(provider);
 }
 
 int ParseHttpPort(const char* value) {

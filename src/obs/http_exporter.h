@@ -16,6 +16,11 @@
 //                             the flight-recorder pressure ring (provided by
 //                             sched/morsel_scheduler.h via
 //                             SetWorkersProvider)
+//   GET /debug/service        query-service admission state: sessions,
+//                             active/queued queries, shed and promotion
+//                             totals, queue-wait and latency percentiles
+//                             (provided by service/query_service.h via
+//                             SetServiceProvider)
 //
 // Design constraints, in order:
 //   1. Zero cost when off (the default): nothing is constructed, no thread,
@@ -87,6 +92,11 @@ class HttpExporter {
 /// plain function pointer swapped atomically) instead of obs calling into
 /// sched. nullptr (the default) serves an empty scheduler list.
 void SetWorkersProvider(std::string (*provider)());
+
+/// Installs the /debug/service body provider, same pattern as
+/// SetWorkersProvider: the service layer injects QueryService::ServiceJson.
+/// nullptr (the default) serves an empty service list.
+void SetServiceProvider(std::string (*provider)());
 
 /// Parses an APQ_HTTP-style port value: returns the port for "1".."65535",
 /// -1 for anything else (empty, garbage, out of range). Pure — exposed for

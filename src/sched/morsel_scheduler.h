@@ -94,6 +94,9 @@ class MorselScheduler {
   uint64_t caller_busy_ns() const { return caller_busy_ns_.load(); }
   /// Total morsel tasks completed (workers + callers).
   uint64_t total_tasks() const;
+  /// Submitted-but-unclaimed tasks right now (a live fleet-pressure signal;
+  /// the query service reports it in /debug/service).
+  uint64_t pending() const { return pending_.load(std::memory_order_relaxed); }
   /// Nanoseconds since this scheduler's workers were spawned.
   double uptime_ns() const;
 

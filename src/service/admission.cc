@@ -1,0 +1,144 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+#include "util/hash_clock.h"
+
+namespace apq {
+namespace service {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  auto& reg = obs::MetricsRegistry::Global();
+  m_admitted_ = reg.GetCounter("apq_service_admitted_total");
+  m_queued_ = reg.GetCounter("apq_service_queued_total");
+  m_shed_ = reg.GetCounter("apq_service_shed_total");
+  m_promoted_ = reg.GetCounter("apq_service_promoted_total");
+  m_completed_ = reg.GetCounter("apq_service_completed_total");
+  m_queue_depth_ = reg.GetGauge("apq_service_queue_depth");
+  m_active_ = reg.GetGauge("apq_service_active_queries");
+  m_queue_wait_ = reg.GetHistogram("apq_service_queue_wait_ns",
+                                   obs::Histogram::LatencyBoundsNs());
+}
+
+AdmitResult AdmissionController::Enqueue(uint64_t id, bool heavy,
+                                         double now_ns) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Handoff to idle executors passes through the queue too, so each free
+    // concurrency slot extends the depth bound by one: the structural limit
+    // is depth + free slots, independent of how fast a sleeping executor
+    // wakes to claim. With every slot held the bound is max_queue_depth
+    // alone — which makes max_queue_depth=0 mean "shed whenever all
+    // executors are busy" rather than "shed everything".
+    const std::size_t free_slots =
+        static_cast<std::size_t>(std::max(0, config_.max_concurrent - active_));
+    if (shutdown_ || queue_.size() >= config_.max_queue_depth + free_slots) {
+      ++shed_total_;
+      m_shed_->Inc();
+      return AdmitResult::kShed;
+    }
+    Entry e;
+    e.id = id;
+    e.heavy = heavy;
+    e.enqueue_ns = now_ns;
+    e.seq = next_seq_++;
+    queue_.push_back(e);
+    ++admitted_total_;
+    queue_depth_peak_ = std::max(queue_depth_peak_, queue_.size());
+    m_admitted_->Inc();
+    m_queued_->Inc();
+    m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+  }
+  cv_.notify_one();
+  return AdmitResult::kQueued;
+}
+
+std::size_t AdmissionController::PickLocked(double now_ns) const {
+  std::size_t best = queue_.size();
+  double best_score = -1.0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Entry& e = queue_[i];
+    // Aging can hand out a timestamp slightly older than an entry enqueued
+    // by a racing thread; clamp so a "future" entry scores zero, not NaN
+    // territory.
+    const double wait = std::max(0.0, now_ns - e.enqueue_ns);
+    const double score = AgingScore(e.heavy, wait);
+    // Strictly-greater keeps the scan's first (oldest-seq) entry on ties —
+    // the deque is in arrival order, so equal scores resolve FIFO.
+    if (best == queue_.size() || score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+bool AdmissionController::ClaimAtLocked(std::size_t idx, double now_ns,
+                                        uint64_t* id, double* queue_wait_ns) {
+  const Entry e = queue_[idx];
+  // Claiming anything but the front means aging promoted this entry past an
+  // older arrival.
+  if (idx != 0) {
+    ++promoted_total_;
+    m_promoted_->Inc();
+  }
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  ++active_;
+  const double wait = std::max(0.0, now_ns - e.enqueue_ns);
+  if (wait > 0) ++waited_total_;
+  *id = e.id;
+  *queue_wait_ns = wait;
+  m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+  m_active_->Set(active_);
+  m_queue_wait_->Observe(wait);
+  return true;
+}
+
+bool AdmissionController::WaitClaim(uint64_t* id, double* queue_wait_ns) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // shutdown drains claims
+  const double now = NowNs();
+  return ClaimAtLocked(PickLocked(now), now, id, queue_wait_ns);
+}
+
+bool AdmissionController::TryClaim(double now_ns, uint64_t* id,
+                                   double* queue_wait_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  return ClaimAtLocked(PickLocked(now_ns), now_ns, id, queue_wait_ns);
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_;
+  ++completed_total_;
+  m_active_->Set(active_);
+  m_completed_->Inc();
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+AdmissionStats AdmissionController::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats s;
+  s.queued = queue_.size();
+  s.active = active_;
+  s.queue_depth_peak = queue_depth_peak_;
+  s.admitted_total = admitted_total_;
+  s.waited_total = waited_total_;
+  s.shed_total = shed_total_;
+  s.promoted_total = promoted_total_;
+  s.completed_total = completed_total_;
+  return s;
+}
+
+}  // namespace service
+}  // namespace apq

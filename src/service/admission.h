@@ -1,0 +1,143 @@
+// Admission control for the query service: bound the number of concurrently
+// morsel-producing queries, queue the overflow FIFO with priority aging, and
+// shed with a typed error when the queue itself overflows.
+//
+// This is the policy layer only — it owns no sockets and no engines. The
+// service enqueues an opaque request id per accepted query; a fleet of
+// exactly max_concurrent executor threads claims ids back out, so the
+// concurrency bound is structural (there is no executor to over-admit onto).
+//
+// Queue discipline: the claimer picks the queued entry with the highest
+// AgingScore(class, wait) — wait-proportional, with short selects aging
+// kShortAgingWeight times faster than heavy analytics (admission_limits.h).
+// Within a class the score is strictly increasing in wait, so order is FIFO;
+// across classes a short select stuck behind a burst of heavies is promoted
+// once it has waited long enough, and a heavy can never be starved outright
+// because its score also grows without bound.
+//
+// Every transition is observable: apq_service_{admitted,queued,shed,
+// promoted,completed}_total counters, apq_service_{queue_depth,active}
+// gauges, and an apq_service_queue_wait_ns histogram, all in the global
+// MetricsRegistry (scraped via /metrics and summarized by /debug/service).
+//
+// Deterministically testable: Enqueue/TryClaim take explicit timestamps, so
+// the unit tests drive aging with a synthetic clock instead of sleeping.
+#ifndef APQ_SERVICE_ADMISSION_H_
+#define APQ_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "service/admission_limits.h"
+
+namespace apq {
+namespace service {
+
+/// \brief Admission policy knobs (defaults from admission_limits.h).
+struct AdmissionConfig {
+  int max_concurrent = kDefaultMaxConcurrent;
+  std::size_t max_queue_depth = kDefaultMaxQueueDepth;
+};
+
+/// \brief Outcome of offering a request to the controller.
+enum class AdmitResult {
+  kQueued,  ///< accepted; a claimer will pick it up (possibly immediately)
+  kShed,    ///< queue at max_queue_depth — rejected, nothing enqueued
+};
+
+/// \brief Point-in-time controller statistics (for /debug/service and tests).
+struct AdmissionStats {
+  std::size_t queued = 0;        ///< waiting in the queue right now
+  int active = 0;                ///< claimed and not yet released
+  std::size_t queue_depth_peak = 0;
+  uint64_t admitted_total = 0;   ///< requests accepted (queued or immediate)
+  uint64_t waited_total = 0;     ///< of those, claimed with non-zero wait
+  uint64_t shed_total = 0;
+  uint64_t promoted_total = 0;   ///< claims that jumped an older entry (aging)
+  uint64_t completed_total = 0;  ///< Release() calls
+};
+
+/// \brief The bounded-concurrency admission queue.
+///
+/// Thread-safe. Claimed ids MUST be released exactly once.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config = AdmissionConfig());
+
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Offers request `id` (opaque to the controller) of the given class.
+  /// `now_ns` is the arrival timestamp (tests pass synthetic clocks; the
+  /// service passes NowNs()). kShed means the queue was full and nothing
+  /// was recorded.
+  AdmitResult Enqueue(uint64_t id, bool heavy, double now_ns);
+
+  /// Claims the highest-priority queued request, blocking until one is
+  /// available or Shutdown() is called (then false). `*queue_wait_ns` gets
+  /// the claim-minus-enqueue wait of the claimed entry.
+  bool WaitClaim(uint64_t* id, double* queue_wait_ns);
+
+  /// Non-blocking claim at an explicit time (unit tests drive aging with
+  /// synthetic timestamps). False when the queue is empty.
+  bool TryClaim(double now_ns, uint64_t* id, double* queue_wait_ns);
+
+  /// Marks a claimed request finished, freeing its concurrency slot.
+  void Release();
+
+  /// Wakes every WaitClaim with false; further Enqueues are shed.
+  void Shutdown();
+
+  AdmissionStats Stats() const;
+
+  /// Workers to grant a query admitted while `active` queries (including
+  /// it) hold slots: the shared Vectorwise formula over the morsel fleet.
+  int GrantedWorkers(int fleet_workers, int active) const {
+    return AdmissionGrant(fleet_workers, active);
+  }
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    bool heavy = false;
+    double enqueue_ns = 0;
+    uint64_t seq = 0;  // arrival order, the FIFO tie-break
+  };
+
+  // mu_ held. Picks argmax AgingScore; returns queue index or npos.
+  std::size_t PickLocked(double now_ns) const;
+  bool ClaimAtLocked(std::size_t idx, double now_ns, uint64_t* id,
+                     double* queue_wait_ns);
+
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Entry> queue_;
+  bool shutdown_ = false;
+  uint64_t next_seq_ = 0;
+  int active_ = 0;
+  std::size_t queue_depth_peak_ = 0;
+  uint64_t admitted_total_ = 0;
+  uint64_t waited_total_ = 0;
+  uint64_t shed_total_ = 0;
+  uint64_t promoted_total_ = 0;
+  uint64_t completed_total_ = 0;
+
+  // Registry instruments (process-wide; multiple controllers aggregate).
+  obs::Counter* m_admitted_;
+  obs::Counter* m_queued_;
+  obs::Counter* m_shed_;
+  obs::Counter* m_promoted_;
+  obs::Counter* m_completed_;
+  obs::Gauge* m_queue_depth_;
+  obs::Gauge* m_active_;
+  obs::Histogram* m_queue_wait_;
+};
+
+}  // namespace service
+}  // namespace apq
+
+#endif  // APQ_SERVICE_ADMISSION_H_

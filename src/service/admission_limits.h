@@ -1,0 +1,64 @@
+// Admission-control limits shared by the Vectorwise-style simulator
+// (src/vwsim/) and the real query service (src/service/).
+//
+// The paper's §4.2.4 baseline models Vectorwise 3.5.1 admission control:
+// under a concurrent workload the first client's query receives the whole
+// machine and every later client is granted cores/active_clients. The live
+// query service applies the *same* grant formula to its shared morsel-worker
+// fleet, so the simulated comparator and the served engine cannot drift:
+// both sides include this header and nothing else defines these policies
+// (docs/architecture.md documents the mapping).
+#ifndef APQ_SERVICE_ADMISSION_LIMITS_H_
+#define APQ_SERVICE_ADMISSION_LIMITS_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace apq {
+namespace service {
+
+/// Target per-core work (ns) for cost-model DOP selection
+/// (VectorwiseConfig::work_per_core_ns). Sized for the repository's
+/// scaled-down datasets.
+constexpr double kDefaultWorkPerCoreNs = 5.0e4;
+
+/// Queries allowed to produce morsels concurrently; later arrivals queue.
+/// The service sizes its executor fleet to this, and the simulator's
+/// "active clients" bound plays the same role.
+constexpr int kDefaultMaxConcurrent = 4;
+
+/// Queued (admitted-but-waiting) queries beyond which arrivals are shed
+/// with a typed error instead of queued.
+constexpr std::size_t kDefaultMaxQueueDepth = 64;
+
+/// Priority-aging weights: a queued query's effective priority is
+/// wait_ns * weight(class). Short selects age faster than heavy analytics,
+/// so a short query stuck behind a pile of heavies is promoted once it has
+/// waited 1/kShortAgingWeight as long as the heavies ahead of it — FIFO is
+/// preserved within a class (the score is strictly increasing in wait), and
+/// heavies can never be starved outright (their score grows without bound
+/// too).
+constexpr double kShortAgingWeight = 4.0;
+constexpr double kHeavyAgingWeight = 1.0;
+
+/// The Vectorwise grant: the first client gets every core; each client of a
+/// loaded machine gets cores/active (>= 1). The service applies this to the
+/// morsel-worker fleet per admitted query; vwsim applies it to the simulated
+/// machine's logical cores.
+inline int AdmissionGrant(int cores, int active_clients) {
+  if (active_clients <= 1) return std::max(1, cores);
+  return std::max(1, cores / active_clients);
+}
+
+/// Effective queue priority of a request of the given class that has waited
+/// `wait_ns`. The dispatcher claims the highest score (ties broken by
+/// arrival order), which is FIFO within a class and aged promotion across
+/// classes.
+inline double AgingScore(bool heavy, double wait_ns) {
+  return wait_ns * (heavy ? kHeavyAgingWeight : kShortAgingWeight);
+}
+
+}  // namespace service
+}  // namespace apq
+
+#endif  // APQ_SERVICE_ADMISSION_LIMITS_H_

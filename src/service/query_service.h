@@ -1,0 +1,190 @@
+// The query-service front-end: serve the engine, don't just bench it.
+//
+// A QueryService binds a local TCP port (127.0.0.1 only, like the
+// introspection endpoint) and accepts the line protocol of
+// service/protocol.h from many concurrent client sessions. One dedicated
+// reader thread multiplexes every session with poll() — accepting new
+// connections, splitting received bytes into request lines, and parsing
+// them — while a fleet of exactly max_concurrent executor threads runs the
+// admitted queries, each on its own Engine, all multiplexing ONE shared
+// morsel-scheduler worker fleet (the production configuration of
+// examples/concurrent_workload.cpp).
+//
+// Admission control (service/admission.h) sits between the two:
+//
+//   * at most max_concurrent queries produce morsels at once — the bound is
+//     structural (the executor fleet is that size);
+//   * overflow queues FIFO with priority aging (short selects age
+//     kShortAgingWeight times faster than heavy analytics, so a burst of
+//     heavies cannot starve them — admission_limits.h);
+//   * beyond max_queue_depth arrivals are shed with the typed ERR SHED
+//     response instead of queued, so overload degrades to fast rejection,
+//     never to collapse;
+//   * under load each admitted query's share of the worker fleet is
+//     degraded by the shared Vectorwise grant formula
+//     (service::AdmissionGrant, the same constants vwsim simulates): the
+//     service multiplies the query's morsel size by the load factor, which
+//     caps how many fleet workers its tasks can occupy without touching
+//     results (morsel size never changes output — the house invariant).
+//
+// Observability: apq_service_* metrics in the global registry (scraped via
+// /metrics), and /debug/service on the HTTP exporter serves per-service
+// admission state (QueryService::ServiceJson, installed via
+// obs::SetServiceProvider), validated by tools/service_check.py.
+#ifndef APQ_SERVICE_QUERY_SERVICE_H_
+#define APQ_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/admission.h"
+#include "service/protocol.h"
+#include "util/status.h"
+#include "workload/tpch.h"
+
+namespace apq {
+
+class Engine;
+class MorselScheduler;
+
+namespace service {
+
+/// \brief Service configuration. Defaults come from admission_limits.h;
+/// FromEnv() applies the APQ_SERVICE_* environment knobs on top (each
+/// hardened like every other APQ_* knob: an invalid value warns once and
+/// keeps the default).
+struct ServiceConfig {
+  /// TCP port to bind on 127.0.0.1 (0 = kernel-assigned ephemeral port, for
+  /// tests and the in-process bench).
+  int port = 0;
+  /// Concurrently executing (morsel-producing) queries; also the executor
+  /// thread count. APQ_SERVICE_MAX_CONCURRENT overrides.
+  int max_concurrent = kDefaultMaxConcurrent;
+  /// Queued queries beyond which arrivals are shed with ERR SHED.
+  /// APQ_SERVICE_QUEUE_DEPTH overrides (0 = shed whenever all executors are
+  /// busy).
+  std::size_t max_queue_depth = kDefaultMaxQueueDepth;
+  /// Workers of the shared morsel fleet (0 = one per hardware thread).
+  int morsel_workers = 0;
+  /// Base rows per morsel for admitted queries.
+  uint64_t morsel_rows = 0;  // 0 = kDefaultMorselRows
+  /// Degrade per-query fleet share under load (AdmissionGrant). Off pins
+  /// every query at the full fleet (differential tests flip this).
+  bool degrade_workers = true;
+
+  /// Defaults + APQ_SERVICE_MAX_CONCURRENT / APQ_SERVICE_QUEUE_DEPTH.
+  static ServiceConfig FromEnv();
+};
+
+/// Parses an APQ_SERVICE_MAX_CONCURRENT-style value: a decimal integer in
+/// [min, max]. Returns -1 on anything else (empty, garbage, out of range).
+/// Pure — exposed for tests; FromEnv adds the warn-once behavior.
+long ParseServiceLimit(const char* value, long min, long max);
+
+/// The validated APQ_SERVICE_PORT (0 = unset or rejected with a one-line
+/// warning). Parsed once per process; the standalone server binary uses it.
+int ServiceEnvPort();
+
+/// True for the query names the admission queue classes as heavy analytics
+/// (multi-join/aggregation shapes: Q4, Q8, Q9, Q19, Q22); Q6 and Q14 are
+/// short selects.
+bool IsHeavyQuery(const std::string& name);
+
+/// \brief Point-in-time service statistics (tests; /debug/service carries
+/// the same numbers).
+struct ServiceStats {
+  AdmissionStats admission;
+  std::size_t sessions = 0;
+  uint64_t requests_total = 0;
+  uint64_t responses_total = 0;
+  uint64_t exec_errors_total = 0;
+  uint64_t degraded_total = 0;  ///< admitted queries granted < fleet workers
+};
+
+/// \brief The multi-session query server.
+class QueryService {
+ public:
+  QueryService() = default;
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Binds 127.0.0.1:config.port, builds the workload plans against
+  /// `catalog`, spawns the reader and executor threads, and registers this
+  /// instance with /debug/service. On failure nothing is running and the
+  /// Status says why.
+  Status Start(std::shared_ptr<Catalog> catalog, ServiceConfig config);
+
+  /// Drains and stops: sheds new arrivals, finishes claimed queries, joins
+  /// every thread, closes every session. Safe to call twice.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolved for ephemeral requests); 0 when not running.
+  int port() const { return port_; }
+  const ServiceConfig& config() const { return config_; }
+  /// Workers in the shared morsel fleet this service dispatches onto.
+  int fleet_workers() const;
+
+  ServiceStats Stats() const;
+
+  /// This service's admission document (one entry of /debug/service).
+  std::string DebugJson() const;
+
+  /// The /debug/service body: every running service's DebugJson under
+  /// {"services":[...]}. Installed as the HTTP exporter's service provider
+  /// by the first Start.
+  static std::string ServiceJson();
+
+ private:
+  struct Session;
+  struct Pending;
+
+  void ReaderLoop();
+  void ExecutorLoop();
+  /// Parses and admits one request line from `session` (writes typed errors
+  /// for parse/plan/shed failures directly).
+  void HandleLine(const std::shared_ptr<Session>& session,
+                  const std::string& line);
+  /// Runs one claimed request on `engine` and writes its response.
+  void Execute(Engine& engine, const Pending& p, double queue_wait_ns);
+
+  ServiceConfig config_;
+  std::shared_ptr<Catalog> catalog_;
+  std::shared_ptr<MorselScheduler> scheduler_;
+  std::map<std::string, QueryPlan> plans_;  // workload queries by name
+  std::unique_ptr<AdmissionController> admission_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread reader_;
+  std::vector<std::thread> executors_;
+
+  mutable std::mutex mu_;  // sessions_, pending_, counters below
+  std::map<int, std::shared_ptr<Session>> sessions_;  // by fd
+  std::map<uint64_t, std::shared_ptr<Pending>> pending_;  // by admission id
+  uint64_t next_request_id_ = 1;
+  uint64_t requests_total_ = 0;
+  uint64_t responses_total_ = 0;
+  uint64_t exec_errors_total_ = 0;
+  uint64_t degraded_total_ = 0;
+
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_responses_ = nullptr;
+  obs::Counter* m_exec_errors_ = nullptr;
+  obs::Counter* m_degraded_ = nullptr;
+  obs::Gauge* m_sessions_ = nullptr;
+  obs::Histogram* m_latency_ = nullptr;     // arrival -> response written
+  obs::Histogram* m_queue_wait_ = nullptr;  // same instrument the controller
+                                            // observes; read for percentiles
+};
+
+}  // namespace service
+}  // namespace apq
+
+#endif  // APQ_SERVICE_QUERY_SERVICE_H_

@@ -9,8 +9,10 @@ int VectorwiseSim::ChooseDop(Engine& engine, const QueryPlan& serial_plan,
                              int active_clients, bool first_client) const {
   int cores = engine.config().sim.logical_cores;
   int granted = cores;
-  if (config_.admission_control && !first_client && active_clients > 1) {
-    granted = std::max(1, cores / active_clients);
+  if (config_.admission_control && !first_client) {
+    // The shared grant formula (service/admission_limits.h): the live query
+    // service degrades per-query workers with exactly this policy.
+    granted = service::AdmissionGrant(cores, active_clients);
   }
   // Cost-model DOP: enough partitions that each core gets at least
   // work_per_core_ns of work, capped by the granted cores.

@@ -11,16 +11,21 @@
 #define APQ_VWSIM_VECTORWISE_SIM_H_
 
 #include "engine/engine.h"
+#include "service/admission_limits.h"
 
 namespace apq {
 
-/// \brief Vectorwise-policy configuration.
+/// \brief Vectorwise-policy configuration. The defaults come from
+/// service/admission_limits.h — the same constants the live query service
+/// enforces — so the simulated comparator and the served engine cannot
+/// drift apart.
 struct VectorwiseConfig {
   /// Target per-core work (ns): the cost model picks DOP ~ total_work / this.
   /// Sized for the repository's scaled-down datasets (DESIGN.md §2).
-  double work_per_core_ns = 5.0e4;
-  /// Admission control: clients beyond the first get cores/active_clients
-  /// (>=1). The first client gets every core.
+  double work_per_core_ns = service::kDefaultWorkPerCoreNs;
+  /// Admission control: clients beyond the first get
+  /// service::AdmissionGrant(cores, active_clients) cores. The first client
+  /// gets every core.
   bool admission_control = true;
 };
 

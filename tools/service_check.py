@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate APQ query-service telemetry JSON (GET /debug/service).
+
+Usage:
+    tools/service_check.py [service.json] [--min-services N]
+
+Reads the /debug/service body from the named file, or from stdin when no
+file is given (so CI can pipe `curl .../debug/service` straight in). Exit
+codes mirror bench_trend.py: 0 = consistent, 1 = consistency violation,
+2 = unreadable or unparseable input.
+
+Checks per service:
+  * envelope: non-negative port/sessions/fleet_workers/limits/counters,
+    max_concurrent >= 1;
+  * admission bounds: active <= max_concurrent (the executor fleet is that
+    size — more would mean over-admission), queued <= max_queue_depth +
+    max_concurrent (handoff passes through the queue, so each free slot
+    extends the bound by one), queue_depth_peak >= queued;
+  * counter consistency: admitted_total = completed_total + active + queued
+    (every admitted request is exactly one of finished / running / waiting),
+    promoted_total <= waited_total <= admitted_total, responses_total <=
+    requests_total, and requests split cleanly into responses sent so far
+    plus requests still inside the service;
+  * percentiles (when present): non-negative, p50 <= p99.
+"""
+
+import argparse
+import json
+import sys
+
+SERVICE_NUMBERS = ("port", "sessions", "fleet_workers", "sched_pending",
+                   "max_concurrent", "max_queue_depth", "active", "queued",
+                   "queue_depth_peak", "admitted_total", "waited_total",
+                   "shed_total", "promoted_total", "completed_total",
+                   "requests_total", "responses_total", "exec_errors_total",
+                   "degraded_total")
+PERCENTILES = ("queue_wait_p50_ns", "queue_wait_p99_ns", "latency_p50_ns",
+               "latency_p99_ns")
+
+
+def fail(msg):
+    print("service_check: FAIL: %s" % msg, file=sys.stderr)
+    return 1
+
+
+def check_numbers(obj, keys, where, required=True):
+    for key in keys:
+        v = obj.get(key)
+        if v is None and not required:
+            continue
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            return '%s: "%s" missing or not a number (%r)' % (where, key, v)
+        if v < 0:
+            return '%s: "%s" is negative (%r)' % (where, key, v)
+    return None
+
+
+def check_service(svc, where):
+    if not isinstance(svc, dict):
+        return "%s: not an object" % where
+    err = check_numbers(svc, SERVICE_NUMBERS, where)
+    if err:
+        return err
+    err = check_numbers(svc, PERCENTILES, where, required=False)
+    if err:
+        return err
+
+    if svc["max_concurrent"] < 1:
+        return "%s: max_concurrent < 1 (%r)" % (where, svc["max_concurrent"])
+    if svc["active"] > svc["max_concurrent"]:
+        return "%s: active (%r) exceeds max_concurrent (%r) -- the bound " \
+               "is structural, this must never happen" % (
+                   where, svc["active"], svc["max_concurrent"])
+    depth_bound = svc["max_queue_depth"] + svc["max_concurrent"]
+    if svc["queued"] > depth_bound:
+        return "%s: queued (%r) exceeds max_queue_depth + max_concurrent " \
+               "(%r)" % (where, svc["queued"], depth_bound)
+    if svc["queue_depth_peak"] < svc["queued"]:
+        return "%s: queue_depth_peak (%r) below current queued (%r)" % (
+            where, svc["queue_depth_peak"], svc["queued"])
+
+    # Every admitted request is exactly one of: finished, running, waiting.
+    accounted = svc["completed_total"] + svc["active"] + svc["queued"]
+    if svc["admitted_total"] != accounted:
+        return "%s: admitted_total (%r) != completed + active + queued " \
+               "(%r)" % (where, svc["admitted_total"], accounted)
+    if svc["promoted_total"] > svc["waited_total"]:
+        return "%s: promoted_total (%r) exceeds waited_total (%r)" % (
+            where, svc["promoted_total"], svc["waited_total"])
+    if svc["waited_total"] > svc["admitted_total"]:
+        return "%s: waited_total (%r) exceeds admitted_total (%r)" % (
+            where, svc["waited_total"], svc["admitted_total"])
+    if svc["responses_total"] > svc["requests_total"]:
+        return "%s: responses_total (%r) exceeds requests_total (%r)" % (
+            where, svc["responses_total"], svc["requests_total"])
+
+    for lo, hi in (("queue_wait_p50_ns", "queue_wait_p99_ns"),
+                   ("latency_p50_ns", "latency_p99_ns")):
+        if lo in svc and hi in svc and svc[lo] > svc[hi]:
+            return "%s: %s (%r) exceeds %s (%r)" % (
+                where, lo, svc[lo], hi, svc[hi])
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate /debug/service JSON consistency.")
+    ap.add_argument("file", nargs="?", help="JSON file (default: stdin)")
+    ap.add_argument("--min-services", type=int, default=0,
+                    help="fail unless at least N services are live")
+    args = ap.parse_args()
+
+    try:
+        if args.file:
+            with open(args.file) as f:
+                doc = json.load(f)
+        else:
+            doc = json.load(sys.stdin)
+    except (OSError, json.JSONDecodeError) as e:
+        print("service_check: unreadable input: %s" % e, file=sys.stderr)
+        return 2
+
+    if not isinstance(doc, dict) or "services" not in doc:
+        print("service_check: missing top-level \"services\" list",
+              file=sys.stderr)
+        return 2
+    services = doc["services"]
+    if not isinstance(services, list):
+        print("service_check: \"services\" is not a list", file=sys.stderr)
+        return 2
+    if len(services) < args.min_services:
+        return fail("expected >= %d live services, got %d" % (
+            args.min_services, len(services)))
+
+    for i, svc in enumerate(services):
+        err = check_service(svc, "services[%d]" % i)
+        if err:
+            return fail(err)
+
+    total_done = sum(s["completed_total"] for s in services)
+    total_shed = sum(s["shed_total"] for s in services)
+    print("service_check: OK: %d service(s), %d completed, %d shed, "
+          "%d promoted" % (len(services), total_done, total_shed,
+                           sum(s["promoted_total"] for s in services)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/service_check.py (run by ctest as service_check_py).
+
+Covers the exit-code contract the CI service-smoke step relies on:
+0 = consistent, 1 = any admission-invariant violation (over-admission,
+queue overflow, counter mismatch, inverted percentiles), 2 = unparseable
+input; plus the success-path summary line.
+"""
+
+import io
+import json
+import os
+import sys
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import service_check  # noqa: E402
+
+
+def valid_service(**overrides):
+    svc = {
+        "port": 9500, "sessions": 2, "fleet_workers": 8, "sched_pending": 0,
+        "max_concurrent": 4, "max_queue_depth": 64,
+        "active": 2, "queued": 3, "queue_depth_peak": 10,
+        "admitted_total": 25, "waited_total": 12, "shed_total": 5,
+        "promoted_total": 2, "completed_total": 20,
+        "requests_total": 31, "responses_total": 25,
+        "exec_errors_total": 0, "degraded_total": 7,
+        "queue_wait_p50_ns": 1e6, "queue_wait_p99_ns": 9e6,
+        "latency_p50_ns": 2e6, "latency_p99_ns": 30e6,
+    }
+    svc.update(overrides)
+    return svc
+
+
+def run_check(doc, argv=None):
+    stdout, stderr = io.StringIO(), io.StringIO()
+    sys.argv = ["service_check.py"] + (argv or [])
+    sys.stdin = io.StringIO(json.dumps(doc) if isinstance(doc, dict)
+                            else doc)
+    with redirect_stdout(stdout), redirect_stderr(stderr):
+        code = service_check.main()
+    return code, stdout.getvalue(), stderr.getvalue()
+
+
+class ServiceCheckTest(unittest.TestCase):
+    def test_valid_document_passes_with_summary(self):
+        code, out, _ = run_check({"services": [valid_service()]})
+        self.assertEqual(code, 0)
+        self.assertIn("OK", out)
+        self.assertIn("20 completed", out)
+        self.assertIn("5 shed", out)
+
+    def test_empty_services_list_passes_by_default(self):
+        code, _, _ = run_check({"services": []})
+        self.assertEqual(code, 0)
+
+    def test_min_services_enforced(self):
+        code, _, err = run_check({"services": []}, ["--min-services", "1"])
+        self.assertEqual(code, 1)
+        self.assertIn("expected >= 1", err)
+
+    def test_over_admission_fails(self):
+        # active > max_concurrent: the structural bound was violated.
+        doc = {"services": [valid_service(active=5)]}
+        code, _, err = run_check(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("max_concurrent", err)
+
+    def test_queue_overflow_fails(self):
+        doc = {"services": [valid_service(queued=100,
+                                          queue_depth_peak=100)]}
+        code, _, err = run_check(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("max_queue_depth", err)
+
+    def test_admitted_accounting_mismatch_fails(self):
+        doc = {"services": [valid_service(admitted_total=99)]}
+        code, _, err = run_check(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("admitted_total", err)
+
+    def test_promoted_beyond_waited_fails(self):
+        doc = {"services": [valid_service(promoted_total=13)]}
+        code, _, err = run_check(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("promoted_total", err)
+
+    def test_peak_below_current_queue_fails(self):
+        doc = {"services": [valid_service(queue_depth_peak=1)]}
+        code, _, err = run_check(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("queue_depth_peak", err)
+
+    def test_inverted_percentiles_fail(self):
+        doc = {"services": [valid_service(latency_p50_ns=50e6)]}
+        code, _, err = run_check(doc)
+        self.assertEqual(code, 1)
+        self.assertIn("latency_p50_ns", err)
+
+    def test_percentiles_are_optional(self):
+        svc = valid_service()
+        for key in ("queue_wait_p50_ns", "queue_wait_p99_ns",
+                    "latency_p50_ns", "latency_p99_ns"):
+            del svc[key]
+        code, _, _ = run_check({"services": [svc]})
+        self.assertEqual(code, 0)
+
+    def test_missing_counter_fails(self):
+        svc = valid_service()
+        del svc["shed_total"]
+        code, _, err = run_check({"services": [svc]})
+        self.assertEqual(code, 1)
+        self.assertIn("shed_total", err)
+
+    def test_garbage_input_exits_two(self):
+        code, _, err = run_check("not json {")
+        self.assertEqual(code, 2)
+        self.assertIn("unreadable", err)
+
+    def test_missing_services_key_exits_two(self):
+        code, _, err = run_check({"schedulers": []})
+        self.assertEqual(code, 2)
+        self.assertIn("services", err)
+
+
+if __name__ == "__main__":
+    unittest.main()
